@@ -1,0 +1,36 @@
+"""Figure 3: bytes per shared object — large objects (10-20 pages),
+high contention.
+
+Paper shape: same ordering as Figure 2 with larger absolute byte
+counts and a wider LOTEC gap — big objects whose methods touch page
+subsets are exactly LOTEC's favourable regime.
+"""
+
+from repro.bench import run_bytes_figure
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+_fig2_cache = {}
+
+
+def test_fig3_large_objects_high_contention(benchmark, show):
+    result = run_once(
+        benchmark, run_bytes_figure, "large-high",
+        seed=BENCH_SEED, scale=BENCH_SCALE,
+    )
+    show(result)
+    totals = result.meta["total_data_bytes"]
+    assert totals["cotec"] > totals["otec"] > totals["lotec"]
+    # Larger objects shift every curve up by roughly the page-count
+    # ratio vs the medium scenario.
+    from repro.bench import run_bytes_figure as fig
+
+    medium = _fig2_cache.setdefault(
+        "medium",
+        fig("medium-high", seed=BENCH_SEED, scale=BENCH_SCALE),
+    )
+    assert totals["cotec"] > medium.meta["total_data_bytes"]["cotec"] * 2
+    # LOTEC's relative saving vs OTEC should be at least as good as on
+    # medium objects.
+    saving_large = 1 - totals["lotec"] / totals["otec"]
+    assert saving_large > 0.02

@@ -1,0 +1,7 @@
+"""Thin setup.py shim: enables legacy editable installs (`pip install -e .
+--no-use-pep517`) on environments without the `wheel` package.  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

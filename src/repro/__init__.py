@@ -1,0 +1,80 @@
+"""repro — a reproduction of LOTEC (Graham & Sui, PODC 1999).
+
+A software DSM consistency protocol for closed nested object
+transactions, together with the full substrate the paper depends on:
+a discrete-event simulated cluster, a parameterized network, paged
+object memory with compile-time access analysis, a partitioned Global
+Directory of Objects, nested object two-phase locking, and the
+COTEC / OTEC / LOTEC protocol suite (plus the announced nested-object
+Release Consistency extension).
+
+Quick start::
+
+    from repro import Attr, Cluster, ClusterConfig, method, shared_class
+
+    @shared_class
+    class Counter:
+        value = Attr(size=8, default=0)
+
+        @method
+        def add(self, ctx, amount):
+            self.value += amount
+
+    cluster = Cluster(ClusterConfig(num_nodes=4, protocol="lotec"))
+    counter = cluster.create(Counter)
+    cluster.call(counter, "add", 3)
+    assert cluster.read_attr(counter, "value") == 3
+"""
+
+from repro.net.network import NetworkConfig
+from repro.net.presets import (
+    ETHERNET_10M,
+    FAST_ETHERNET_100M,
+    GIGABIT_1G,
+    SOFTWARE_COSTS,
+    preset_network,
+)
+from repro.objects.schema import Array, Attr, method, shared_class
+from repro.runtime.cluster import Cluster, TxnTicket
+from repro.runtime.config import ClusterConfig
+from repro.runtime.verify import (
+    check_conflict_serializability,
+    check_serializability,
+    replay_serially,
+)
+from repro.util.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ProtocolError,
+    RecursiveInvocationError,
+    ReproError,
+    TransactionAborted,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Array",
+    "Attr",
+    "Cluster",
+    "ClusterConfig",
+    "ConfigurationError",
+    "DeadlockError",
+    "ETHERNET_10M",
+    "FAST_ETHERNET_100M",
+    "GIGABIT_1G",
+    "NetworkConfig",
+    "ProtocolError",
+    "RecursiveInvocationError",
+    "ReproError",
+    "SOFTWARE_COSTS",
+    "TransactionAborted",
+    "TxnTicket",
+    "check_serializability",
+    "check_conflict_serializability",
+    "method",
+    "preset_network",
+    "replay_serially",
+    "shared_class",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Compile-time access analysis and page prediction.
+
+Section 4.1 lists two compiler requirements for LOTEC: (1) detect,
+conservatively, which attributes each method may access ("attribute
+access analysis"), and (2) map attributes to the pages they occupy in
+the object's memory image.  :mod:`repro.analysis.ast_analysis` is (1)
+— a static walk over the Python AST of a method body; page mapping (2)
+is :meth:`repro.memory.ObjectLayout.pages_for_attributes`, combined in
+:mod:`repro.analysis.prediction`.
+
+Explicit ``reads=`` / ``writes=`` annotations on the ``@method``
+decorator override the analysis, mirroring the paper's note that
+analysis results "can also be improved by the use of partial
+evaluation techniques" — annotations model a sharper (or, if the user
+lies, an unsound) analysis, which is exactly what the demand-fetch path
+and the prediction-accuracy ablation need.
+"""
+
+from repro.analysis.ast_analysis import ALL_ATTRIBUTES, AccessSets, analyze_method
+from repro.analysis.invocations import (
+    UNKNOWN_INVOCATIONS,
+    analyze_invocations,
+    may_invoke,
+)
+from repro.analysis.prediction import AccessPrediction, PredictionStats, predict
+
+__all__ = [
+    "ALL_ATTRIBUTES",
+    "AccessSets",
+    "analyze_method",
+    "AccessPrediction",
+    "UNKNOWN_INVOCATIONS",
+    "analyze_invocations",
+    "may_invoke",
+    "PredictionStats",
+    "predict",
+]

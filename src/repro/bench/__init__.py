@@ -1,0 +1,46 @@
+"""Experiment harness: one driver per paper figure/table.
+
+Each driver regenerates a figure's underlying numbers (same series the
+paper plots) on this reproduction's simulator and returns a structured
+result; :mod:`repro.bench.report` renders them as ASCII tables.  See
+DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
+paper-vs-measured outcomes.
+"""
+
+from repro.bench.experiments import (
+    ExperimentResult,
+    run_aggregation_ablation,
+    run_bytes_figure,
+    run_claims_messages,
+    run_claims_reduction,
+    run_gdo_cache_ablation,
+    run_multicast_ablation,
+    run_object_grain_ablation,
+    run_per_class_ablation,
+    run_prediction_ablation,
+    run_prefetch_ablation,
+    run_rc_ablation,
+    run_recovery_ablation,
+    run_time_figure,
+)
+from repro.bench.report import format_bar_chart, format_series_table, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "run_bytes_figure",
+    "run_time_figure",
+    "run_claims_reduction",
+    "run_claims_messages",
+    "run_rc_ablation",
+    "run_recovery_ablation",
+    "run_multicast_ablation",
+    "run_prefetch_ablation",
+    "run_per_class_ablation",
+    "run_object_grain_ablation",
+    "run_prediction_ablation",
+    "run_gdo_cache_ablation",
+    "run_aggregation_ablation",
+    "format_table",
+    "format_bar_chart",
+    "format_series_table",
+]

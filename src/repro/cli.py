@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiment <id>`` — regenerate one paper artifact (``fig2`` …
+  ``fig8``, ``tab-speedup``, ``msg-count``, or an ablation id from
+  DESIGN.md §3) and print the series table; ``--json`` writes the raw
+  result for downstream plotting.
+* ``compare`` — run one workload scenario under all four protocols and
+  print the side-by-side summary.
+* ``list`` — show available experiment ids and scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.bench import (
+    ExperimentResult,
+    run_aggregation_ablation,
+    format_table,
+    run_bytes_figure,
+    run_claims_messages,
+    run_claims_reduction,
+    run_gdo_cache_ablation,
+    run_multicast_ablation,
+    run_object_grain_ablation,
+    run_per_class_ablation,
+    run_prediction_ablation,
+    run_prefetch_ablation,
+    run_rc_ablation,
+    run_recovery_ablation,
+    run_time_figure,
+)
+from repro.runtime.cluster import Cluster
+from repro.runtime.config import ClusterConfig
+from repro.workload.generator import generate_workload
+from repro.workload.params import SCENARIOS
+from repro.workload.runner import run_workload
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig2": lambda **kw: run_bytes_figure("medium-high", **kw),
+    "fig3": lambda **kw: run_bytes_figure("large-high", **kw),
+    "fig4": lambda **kw: run_bytes_figure("medium-moderate", **kw),
+    "fig5": lambda **kw: run_bytes_figure("large-moderate", **kw),
+    "fig6": lambda **kw: run_time_figure("10Mbps", **kw),
+    "fig7": lambda **kw: run_time_figure("100Mbps", **kw),
+    "fig8": lambda **kw: run_time_figure("1Gbps", **kw),
+    "tab-speedup": run_claims_reduction,
+    "msg-count": run_claims_messages,
+    "abl-rc": run_rc_ablation,
+    "abl-dsd": run_object_grain_ablation,
+    "abl-predict": run_prediction_ablation,
+    "abl-gdocache": run_gdo_cache_ablation,
+    "abl-aggregate": run_aggregation_ablation,
+    "abl-recovery": run_recovery_ablation,
+    "abl-multicast": run_multicast_ablation,
+    "abl-prefetch": run_prefetch_ablation,
+    "abl-perclass": run_per_class_ablation,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LOTEC reproduction experiment harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--seed", type=int, default=11)
+    exp.add_argument("--scale", type=float, default=1.0,
+                     help="workload size factor (1.0 = full)")
+    exp.add_argument("--nodes", type=int, default=4)
+    exp.add_argument("--json", metavar="PATH",
+                     help="also write the result as JSON")
+    exp.add_argument("--chart", action="store_true",
+                     help="render ASCII bars instead of a table")
+
+    cmp_parser = sub.add_parser(
+        "compare", help="run a scenario under all protocols"
+    )
+    cmp_parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                            default="medium-high")
+    cmp_parser.add_argument("--seed", type=int, default=11)
+    cmp_parser.add_argument("--scale", type=float, default=0.5)
+    cmp_parser.add_argument("--nodes", type=int, default=4)
+
+    sub.add_parser("list", help="list experiment ids and scenarios")
+    return parser
+
+
+def _result_to_json(result: ExperimentResult) -> Dict:
+    return {
+        "experiment": result.experiment,
+        "x_label": result.x_label,
+        "series": result.series,
+        "meta": {
+            key: value
+            for key, value in result.meta.items()
+            if _json_safe(value)
+        },
+    }
+
+
+def _json_safe(value) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except TypeError:
+        return False
+
+
+def _cmd_experiment(args) -> int:
+    driver = EXPERIMENTS[args.id]
+    result = driver(seed=args.seed, scale=args.scale, num_nodes=args.nodes)
+    print(result.render_chart() if args.chart else result.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(_result_to_json(result), handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    params = SCENARIOS[args.scenario].scaled(args.scale)
+    workload = generate_workload(params, seed=args.seed)
+    rows = []
+    for protocol in ("cotec", "otec", "lotec", "rc"):
+        cluster = Cluster(ClusterConfig(
+            num_nodes=args.nodes, protocol=protocol, seed=args.seed,
+            audit_accesses=False,
+        ))
+        run = run_workload(cluster, workload)
+        stats = cluster.network_stats
+        rows.append([
+            protocol,
+            run.committed,
+            run.failed,
+            stats.consistency_bytes(),
+            stats.total_messages,
+            round(cluster.txn_stats.mean_latency * 1e6),
+            cluster.lock_stats.deadlocks,
+        ])
+    print(f"scenario {args.scenario} (seed {args.seed}, "
+          f"scale {args.scale}, {args.nodes} nodes)\n")
+    print(format_table(
+        ["protocol", "committed", "failed", "data bytes", "messages",
+         "mean latency (us)", "deadlocks"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:")
+    for key in sorted(EXPERIMENTS):
+        print(f"  {key}")
+    print("\nscenarios (for `compare`):")
+    for key in sorted(SCENARIOS):
+        print(f"  {key}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "compare": _cmd_compare,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

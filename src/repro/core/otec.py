@@ -1,0 +1,26 @@
+"""OTEC: Object Transactional Entry Consistency.
+
+"The second protocol ... optimized COTEC by sending only the updated
+pages to an acquiring transaction's site" (§5).  OTEC is entry
+consistency at page grain: the page map's version tags identify which
+pages changed since this site last cached them, and only those move.
+After an OTEC acquisition the acquiring site is fully current, so no
+demand fetching is ever needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.analysis.prediction import AccessPrediction
+from repro.core.protocol import ConsistencyProtocol
+from repro.objects.registry import ObjectMeta
+
+
+class OTEC(ConsistencyProtocol):
+    name = "otec"
+
+    def select_pages(self, meta: ObjectMeta, page_map,
+                     local_versions: Dict[int, int],
+                     prediction: AccessPrediction) -> Set[int]:
+        return self.stale_pages(page_map, local_versions)

@@ -1,0 +1,146 @@
+"""Algorithm 4.5: TransferOfUpdatedPages.
+
+"FOREACH object page DO: IF the most up-to-date page is not resident
+here THEN add the page to a list of pages to obtain from the site at
+which it is stored.  FOREACH site from which page(s) must be obtained
+DO: copy the set of pages provided in the site's list from the
+specified site to the acquiring site."
+
+Under LOTEC the up-to-date parts of one object may be scattered over
+several nodes, so one acquisition can gather from multiple sources;
+requests to distinct sources proceed concurrently (one request/response
+pair per source).  Page data may be shipped at page grain (whole
+pages) or object grain (only the object's bytes on each page — the
+Distributed Shared Data mode of §4.2, which is how LOTEC sidesteps
+false sharing without twins or diffs).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.net.message import Message, MessageCategory
+from repro.net.network import Network
+from repro.net.sizes import SizeModel
+from repro.objects.registry import ObjectMeta
+from repro.util.errors import ConfigurationError
+from repro.util.ids import NodeId
+
+PAGE_GRAIN = "page"
+OBJECT_GRAIN = "object"
+
+
+def _data_size(sizes: SizeModel, meta: ObjectMeta, pages: List[int],
+               grain: str) -> int:
+    if grain == PAGE_GRAIN:
+        return sizes.page_data(len(pages))
+    if grain == OBJECT_GRAIN:
+        return sizes.object_data(
+            sum(meta.layout.object_bytes_on_page(page) for page in pages)
+        )
+    raise ConfigurationError(f"unknown transfer grain {grain!r}")
+
+
+def _plan_sources(page_map, pages: Iterable[int]) -> Dict[NodeId, List[int]]:
+    """Group wanted pages by the node owning their latest version."""
+    by_owner: Dict[NodeId, List[int]] = defaultdict(list)
+    for page in sorted(set(pages)):
+        by_owner[page_map[page].owner].append(page)
+    return by_owner
+
+
+def gather_pages(env, network: Network, sizes: SizeModel, stores,
+                 node: NodeId, meta: ObjectMeta, page_map,
+                 pages: Iterable[int], grain: str = PAGE_GRAIN):
+    """Simulation process: gather ``pages`` to ``node``; returns the
+    list of pages actually shipped over the network.
+
+    ``stores`` maps NodeId -> NodeStore.  Pages whose owner is the
+    acquiring node itself need no shipment.  All source round trips run
+    concurrently; installation happens when the last response lands.
+    """
+    by_owner = _plan_sources(page_map, pages)
+    by_owner.pop(node, None)
+    if not by_owner:
+        return []
+    deliveries = []
+    shipped: List[int] = []
+    for owner, owner_pages in sorted(by_owner.items()):
+        request = Message(
+            src=node, dst=owner,
+            category=MessageCategory.PAGE_REQUEST,
+            size_bytes=sizes.page_request(len(owner_pages)),
+            object_id=meta.object_id,
+        )
+        response = Message(
+            src=owner, dst=node,
+            category=MessageCategory.PAGE_DATA,
+            size_bytes=_data_size(sizes, meta, owner_pages, grain),
+            object_id=meta.object_id,
+        )
+        shipped.extend(owner_pages)
+
+        def chain(event, resp=response):
+            network.send(resp)
+
+        # Response departs when the request arrives at the owner.
+        network.send(request).add_callback(chain)
+        # Wait for both legs' time without re-sending: total wait is
+        # request time + response time, modelled by a timeout equal to
+        # the response transfer time after the request delivery.
+        deliveries.append(_round_trip_event(env, network, request, response))
+    yield env.all_of(deliveries)
+    for owner, owner_pages in sorted(by_owner.items()):
+        copies = stores[owner].extract_pages(meta.object_id, owner_pages)
+        stores[node].install_pages(meta.object_id, copies)
+    return shipped
+
+
+def _round_trip_event(env, network: Network, request: Message,
+                      response: Message):
+    """Event firing when the response of one source round trip lands."""
+    done = env.event(name="gather-roundtrip")
+    total = (
+        network.config.transfer_time(request.size_bytes)
+        + network.config.transfer_time(response.size_bytes)
+        if not request.is_local
+        else 0.0
+    )
+    env.timeout(total).add_callback(lambda _e: done.succeed(None))
+    return done
+
+
+def demand_fetch(network: Network, sizes: SizeModel, stores,
+                 node: NodeId, meta: ObjectMeta, page_map,
+                 pages: Iterable[int], grain: str = PAGE_GRAIN) -> Tuple[float, List[int]]:
+    """Synchronous gather used from inside running method bodies.
+
+    Moves the data immediately (safe: the object's lock is held, so the
+    sources are quiescent) and returns ``(deferred delay, shipped
+    pages)`` — the delay is charged to the transaction at its next
+    suspension point.
+    """
+    by_owner = _plan_sources(page_map, pages)
+    by_owner.pop(node, None)
+    delay = 0.0
+    shipped: List[int] = []
+    for owner, owner_pages in sorted(by_owner.items()):
+        request = Message(
+            src=node, dst=owner,
+            category=MessageCategory.PAGE_REQUEST,
+            size_bytes=sizes.page_request(len(owner_pages)),
+            object_id=meta.object_id,
+        )
+        response = Message(
+            src=owner, dst=node,
+            category=MessageCategory.PAGE_DATA,
+            size_bytes=_data_size(sizes, meta, owner_pages, grain),
+            object_id=meta.object_id,
+        )
+        delay += network.charge(request)
+        delay += network.charge(response)
+        copies = stores[owner].extract_pages(meta.object_id, owner_pages)
+        stores[node].install_pages(meta.object_id, copies)
+        shipped.extend(owner_pages)
+    return delay, shipped

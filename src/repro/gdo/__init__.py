@@ -1,0 +1,38 @@
+"""The Global Directory of Objects (GDO).
+
+Per §4.1 the GDO stores, for every shared object, the lock structure of
+Figure 1 — ``LockState``, ``ReadCount``, ``HolderPtr`` (the holding
+family's ⟨TID,NID⟩ list), ``NonHoldersPtr`` (per-family waiter lists)
+— plus the consistency page map recording which node stores the most
+up-to-date version of each page.  The directory is partitioned across
+nodes by object id; the holding site caches the holder list so that
+intra-family lock traffic stays local (the local/global split of
+Algorithms 4.1-4.4).
+
+This reproduction adds a waits-for-graph deadlock detector, which the
+paper leaves unaddressed (see DESIGN.md, Substitutions).
+"""
+
+from repro.gdo.entry import (
+    DirectoryEntry,
+    GrantDecision,
+    LockMode,
+    LockState,
+    PageMapEntry,
+    Waiter,
+)
+from repro.gdo.deadlock import DeadlockDetector
+from repro.gdo.directory import Directory
+from repro.gdo.cache import EntryCacheTracker
+
+__all__ = [
+    "DirectoryEntry",
+    "GrantDecision",
+    "LockMode",
+    "LockState",
+    "PageMapEntry",
+    "Waiter",
+    "DeadlockDetector",
+    "Directory",
+    "EntryCacheTracker",
+]

@@ -1,0 +1,72 @@
+"""Local caching of GDO holder lists.
+
+Section 4.1: "The locally cached portion of a GDO entry for a given
+object consists of the entire list of transactions from the family
+currently holding the object's lock...  This is exactly the information
+needed to manage the current holding transaction's family's access to
+the object" — so intra-family lock operations complete without any
+message to the entry's home node.
+
+:class:`EntryCacheTracker` records which site currently caches each
+entry's holder list and classifies each lock operation as a cache *hit*
+(free) or *miss* (round trip to the home node).  A configuration switch
+disables caching entirely, turning every operation into a global one —
+the ``abl-gdocache`` ablation measures what that costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.util.ids import NodeId, ObjectId
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class EntryCacheTracker:
+    """Tracks, per object, the site caching its holder list (if any)."""
+
+    enabled: bool = True
+    _cached_at: Dict[ObjectId, NodeId] = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def cache_site(self, object_id: ObjectId) -> Optional[NodeId]:
+        return self._cached_at.get(object_id)
+
+    def is_local(self, object_id: ObjectId, node: NodeId) -> bool:
+        """Can this lock operation be served from the local cache?
+
+        Records the hit/miss in the stats either way.
+        """
+        if self.enabled and self._cached_at.get(object_id) == node:
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def on_granted(self, object_id: ObjectId, node: NodeId) -> None:
+        """A family at ``node`` was granted the lock: the holder list is
+        shipped there and cached (Algorithm 4.2's grant message)."""
+        if not self.enabled:
+            return
+        previous = self._cached_at.get(object_id)
+        if previous is not None and previous != node:
+            self.stats.invalidations += 1
+        self._cached_at[object_id] = node
+
+    def on_freed(self, object_id: ObjectId) -> None:
+        """The lock went free at the GDO: no site's cache is authoritative."""
+        if self._cached_at.pop(object_id, None) is not None:
+            self.stats.invalidations += 1

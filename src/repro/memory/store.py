@@ -1,0 +1,185 @@
+"""Per-node object store: cached slot values plus page version tags.
+
+Each node keeps, for every object it has ever cached, (a) a value for
+each slot it has received and (b) the version of each page of its
+local copy.  The GDO's page map holds the authoritative latest version
+of every page; a node's copy of page p is *current* iff its local tag
+equals the GDO's.  Consistency protocols move pages between stores;
+this module only holds state and enforces local invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.memory.layout import ObjectLayout, Slot
+from repro.util.errors import ProtocolError
+from repro.util.ids import NodeId, ObjectId
+
+
+@dataclass
+class PageCopy:
+    """One page as shipped between nodes: its version tag plus the
+    values of every slot intersecting it."""
+
+    page: int
+    version: int
+    slot_values: Dict[Slot, object]
+
+
+@dataclass
+class _CachedObject:
+    layout: ObjectLayout
+    slots: Dict[Slot, object] = field(default_factory=dict)
+    page_versions: Dict[int, int] = field(default_factory=dict)
+
+
+class NodeStore:
+    """All object data cached at one node."""
+
+    def __init__(self, node_id: NodeId):
+        self.node_id = node_id
+        self._objects: Dict[ObjectId, _CachedObject] = {}
+
+    # -- presence ----------------------------------------------------------
+
+    def has_object(self, object_id: ObjectId) -> bool:
+        return object_id in self._objects
+
+    def cached_objects(self) -> Tuple[ObjectId, ...]:
+        return tuple(self._objects)
+
+    def _cached(self, object_id: ObjectId) -> _CachedObject:
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise ProtocolError(
+                f"object {object_id!r} not cached at node {self.node_id!r}"
+            ) from None
+
+    def layout_of(self, object_id: ObjectId) -> ObjectLayout:
+        return self._cached(object_id).layout
+
+    # -- creation / installation -------------------------------------------
+
+    def create_object(self, object_id: ObjectId, layout: ObjectLayout,
+                      values: Optional[Dict[Slot, object]] = None,
+                      initial_version: int = 1) -> None:
+        """Materialize a brand-new object with all pages current."""
+        if object_id in self._objects:
+            raise ProtocolError(f"object {object_id!r} already exists at "
+                                f"{self.node_id!r}")
+        cached = _CachedObject(layout=layout)
+        cached.slots = dict(layout.initial_values())
+        if values:
+            for slot, value in values.items():
+                if slot not in cached.slots:
+                    raise KeyError(f"unknown slot {slot} for {object_id!r}")
+                cached.slots[slot] = value
+        cached.page_versions = {
+            page: initial_version for page in range(layout.page_count)
+        }
+        self._objects[object_id] = cached
+
+    def register_object(self, object_id: ObjectId, layout: ObjectLayout) -> None:
+        """Make a remote object known locally with no pages cached yet."""
+        if object_id not in self._objects:
+            self._objects[object_id] = _CachedObject(layout=layout)
+
+    def install_pages(self, object_id: ObjectId, copies: Iterable[PageCopy]) -> None:
+        """Install pages received from another node.
+
+        Installs at or below the local version are ignored rather than
+        rejected: with concurrent readers the same page can arrive
+        twice, and an equal-version copy is by definition identical to
+        what we hold — *except* when the local copy carries uncommitted
+        writes of a transaction running here, which an install must
+        never clobber.  Skipping non-newer copies covers both cases.
+        """
+        cached = self._cached(object_id)
+        for copy in copies:
+            current = cached.page_versions.get(copy.page, 0)
+            if copy.version <= current:
+                continue
+            cached.page_versions[copy.page] = copy.version
+            cached.slots.update(copy.slot_values)
+
+    def extract_pages(self, object_id: ObjectId,
+                      pages: Iterable[int]) -> Tuple[PageCopy, ...]:
+        """Package local pages for shipment to another node."""
+        cached = self._cached(object_id)
+        copies = []
+        for page in sorted(set(pages)):
+            if page not in cached.page_versions:
+                raise ProtocolError(
+                    f"node {self.node_id!r} asked to ship uncached page "
+                    f"{page} of {object_id!r}"
+                )
+            slot_values = {
+                slot: cached.slots[slot]
+                for slot in cached.layout.slots_on_page(page)
+                if slot in cached.slots
+            }
+            copies.append(
+                PageCopy(page=page, version=cached.page_versions[page],
+                         slot_values=slot_values)
+            )
+        return tuple(copies)
+
+    # -- versions -----------------------------------------------------------
+
+    def page_version(self, object_id: ObjectId, page: int) -> int:
+        """Local version tag of a page; 0 if never cached."""
+        cached = self._cached(object_id)
+        return cached.page_versions.get(page, 0)
+
+    def set_page_version(self, object_id: ObjectId, page: int, version: int) -> None:
+        self._cached(object_id).page_versions[page] = version
+
+    def resident_pages(self, object_id: ObjectId) -> Dict[int, int]:
+        """Mapping page -> local version for every cached page."""
+        return dict(self._cached(object_id).page_versions)
+
+    # -- slot access ----------------------------------------------------------
+
+    def peek_slot(self, object_id: ObjectId, slot: Slot) -> tuple:
+        """Non-raising read: ``(present, value-or-None)``.
+
+        Used by recovery logs to capture pre-write state (a slot a
+        transaction creates may not exist yet)."""
+        cached = self._cached(object_id)
+        if slot in cached.slots:
+            return True, cached.slots[slot]
+        return False, None
+
+    def read_slot(self, object_id: ObjectId, slot: Slot) -> object:
+        cached = self._cached(object_id)
+        try:
+            return cached.slots[slot]
+        except KeyError:
+            raise ProtocolError(
+                f"slot {slot} of {object_id!r} read at {self.node_id!r} "
+                f"before any copy arrived"
+            ) from None
+
+    def write_slot(self, object_id: ObjectId, slot: Slot, value: object) -> tuple:
+        """Write a slot; returns ``(had_value, old_value)`` for undo."""
+        cached = self._cached(object_id)
+        had = slot in cached.slots
+        old = cached.slots.get(slot)
+        cached.slots[slot] = value
+        return had, old
+
+    def restore_slot(self, object_id: ObjectId, slot: Slot,
+                     had_value: bool, old_value: object) -> None:
+        """Undo helper: put a slot back exactly as it was."""
+        cached = self._cached(object_id)
+        if had_value:
+            cached.slots[slot] = old_value
+        else:
+            cached.slots.pop(slot, None)
+
+    def snapshot_object(self, object_id: ObjectId) -> Dict[Slot, object]:
+        """Copy of all locally cached slot values (tests / debugging)."""
+        return dict(self._cached(object_id).slots)

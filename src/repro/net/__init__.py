@@ -1,0 +1,39 @@
+"""Simulated cluster network with byte / message / time accounting.
+
+The paper models exactly two network knobs (its Figures 6-8 sweep
+both): link bandwidth (10 Mbps, 100 Mbps, 1 Gbps — switched, so no
+collisions) and the per-message *software cost* (startup latency of
+the messaging protocol: 100 us down to 500 ns).  :class:`NetworkConfig`
+captures those knobs; :class:`Network` delivers messages over the
+simulation clock and attributes every byte, message, and microsecond to
+a traffic category and (when relevant) a shared object, which is what
+the figure-reproduction benches read back out.
+"""
+
+from repro.net.message import Message, MessageCategory
+from repro.net.network import Network, NetworkConfig
+from repro.net.presets import (
+    ETHERNET_10M,
+    FAST_ETHERNET_100M,
+    GIGABIT_1G,
+    SOFTWARE_COSTS,
+    preset_network,
+)
+from repro.net.sizes import SizeModel
+from repro.net.stats import NetworkStats, NodeTraffic, ObjectTraffic
+
+__all__ = [
+    "Message",
+    "MessageCategory",
+    "Network",
+    "NetworkConfig",
+    "NetworkStats",
+    "ObjectTraffic",
+    "NodeTraffic",
+    "SizeModel",
+    "ETHERNET_10M",
+    "FAST_ETHERNET_100M",
+    "GIGABIT_1G",
+    "SOFTWARE_COSTS",
+    "preset_network",
+]

@@ -1,0 +1,69 @@
+"""Message model for the simulated network."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.util.ids import NodeId, ObjectId
+
+
+class MessageCategory(enum.Enum):
+    """Traffic categories, used for accounting and the figure benches.
+
+    The split mirrors the costs the paper discusses: lock management
+    traffic to/from the GDO (§5.1), consistency data (page transfers,
+    Figures 2-5), and the small metadata that rides along with lock
+    grants (holder lists and page maps, §4.1).
+    """
+
+    LOCK_REQUEST = "lock_request"
+    LOCK_GRANT = "lock_grant"
+    LOCK_RELEASE = "lock_release"
+    PAGE_REQUEST = "page_request"
+    PAGE_DATA = "page_data"
+    PAGE_MAP = "page_map"
+    HOLDER_LIST = "holder_list"
+    UPDATE_PUSH = "update_push"  # eager pushes (RC extension)
+    CONTROL = "control"
+
+    @property
+    def is_consistency_data(self) -> bool:
+        """True for message kinds that carry object data between nodes."""
+        return self in (MessageCategory.PAGE_DATA, MessageCategory.UPDATE_PUSH)
+
+
+@dataclass
+class Message:
+    """One message on the simulated network.
+
+    ``size_bytes`` is the on-wire size (payload plus protocol header, as
+    computed by :class:`repro.net.SizeModel`).  ``object_id`` attributes
+    the message to one shared object's consistency maintenance so the
+    per-object series of Figures 2-8 can be reconstructed; pure control
+    traffic leaves it ``None``.
+    """
+
+    src: NodeId
+    dst: NodeId
+    category: MessageCategory
+    size_bytes: int
+    object_id: Optional[ObjectId] = None
+    payload: Any = None
+    send_time: float = field(default=0.0, compare=False)
+    deliver_time: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size {self.size_bytes}")
+
+    @property
+    def is_local(self) -> bool:
+        """True when source and destination are the same node.
+
+        Local "messages" model procedure calls into locally cached GDO
+        state; they cost nothing on the network and are excluded from
+        all network accounting.
+        """
+        return self.src == self.dst

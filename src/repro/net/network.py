@@ -1,0 +1,164 @@
+"""Point-to-point switched network over the simulation clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.message import Message
+from repro.net.stats import NetworkStats
+from repro.sim import Environment, Event
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """The two knobs the paper sweeps, plus wire propagation.
+
+    Attributes:
+        bandwidth_bps: link bandwidth in bits per second.
+        software_cost_s: fixed per-message software (protocol startup)
+            cost in seconds — the x-axis of Figures 6-8.
+        propagation_s: physical propagation delay; negligible on a
+            system-area network but kept explicit and configurable.
+        name: human-readable label used in reports.
+        multicast: the switch replicates frames to multiple receivers,
+            so one transmission reaches any number of destinations (§6
+            lists "multicast-capable networks" among the DSM
+            optimizations LOTEC should compose with).
+    """
+
+    bandwidth_bps: float
+    software_cost_s: float
+    propagation_s: float = 1e-6
+    name: str = ""
+    multicast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth_bps must be positive")
+        if self.software_cost_s < 0 or self.propagation_s < 0:
+            raise ConfigurationError("latencies must be non-negative")
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Time one message of ``size_bytes`` occupies: software startup
+        plus wire serialization plus propagation."""
+        return (
+            self.software_cost_s
+            + (size_bytes * 8.0) / self.bandwidth_bps
+            + self.propagation_s
+        )
+
+    def with_software_cost(self, software_cost_s: float) -> "NetworkConfig":
+        return NetworkConfig(
+            bandwidth_bps=self.bandwidth_bps,
+            software_cost_s=software_cost_s,
+            propagation_s=self.propagation_s,
+            name=self.name,
+            multicast=self.multicast,
+        )
+
+    def with_multicast(self, enabled: bool = True) -> "NetworkConfig":
+        return NetworkConfig(
+            bandwidth_bps=self.bandwidth_bps,
+            software_cost_s=self.software_cost_s,
+            propagation_s=self.propagation_s,
+            name=self.name,
+            multicast=enabled,
+        )
+
+
+class Network:
+    """Delivers messages between nodes and accounts for every one.
+
+    The target environment is a *switched* system-area network (the
+    paper simulates "switched (i.e. no collisions)" Ethernet), so
+    messages between distinct node pairs do not contend.  We model each
+    message as occupying the wire for its transfer time and deliver it
+    that much later; per-link queueing is deliberately omitted, exactly
+    as in the paper's cost model.
+    """
+
+    def __init__(self, env: Environment, config: NetworkConfig):
+        self.env = env
+        self.config = config
+        self.stats = NetworkStats()
+
+    def send(self, message: Message) -> Event:
+        """Send a message; returns an event firing at delivery time.
+
+        Local messages (``src == dst``) model calls into locally cached
+        state: they deliver immediately and are not accounted, matching
+        the paper's local/global split of lock processing (§4.1).
+        """
+        done = self.env.event(name=f"deliver:{message.category.value}")
+        message.send_time = self.env.now
+        if message.is_local:
+            message.deliver_time = self.env.now
+            done.succeed(message)
+            return done
+        transfer_time = self.config.transfer_time(message.size_bytes)
+        message.deliver_time = self.env.now + transfer_time
+        self.stats.record(message, transfer_time)
+
+        def deliver(event, msg=message, target=done):
+            target.succeed(msg)
+
+        self.env.timeout(transfer_time).add_callback(deliver)
+        return done
+
+    def charge(self, message: Message) -> float:
+        """Account a message without creating a delivery event.
+
+        Used by synchronous paths (LOTEC demand fetches fired from
+        inside a running method body) where the *data* moves at once
+        and the *delay* is deferred to the transaction's next
+        suspension point; returns the transfer time to defer.
+        """
+        message.send_time = self.env.now
+        if message.is_local:
+            message.deliver_time = self.env.now
+            return 0.0
+        transfer_time = self.config.transfer_time(message.size_bytes)
+        message.deliver_time = self.env.now + transfer_time
+        self.stats.record(message, transfer_time)
+        return transfer_time
+
+    def charge_group(self, template: Message, destinations) -> float:
+        """Send the same payload to several destinations (eager pushes).
+
+        On a multicast-capable fabric one transmission reaches every
+        destination: the sender pays the software cost and serializes
+        the frame once.  Without multicast this degenerates to one
+        unicast charge per remote destination.  Returns the total
+        sender-side delay; local destinations are free as usual.
+        """
+        remote = [dst for dst in destinations if dst != template.src]
+        if not remote:
+            return 0.0
+        if self.config.multicast:
+            message = Message(
+                src=template.src, dst=remote[0],
+                category=template.category,
+                size_bytes=template.size_bytes,
+                object_id=template.object_id,
+            )
+            return self.charge(message)
+        total = 0.0
+        for dst in remote:
+            message = Message(
+                src=template.src, dst=dst,
+                category=template.category,
+                size_bytes=template.size_bytes,
+                object_id=template.object_id,
+            )
+            total += self.charge(message)
+        return total
+
+    def round_trip(self, request: Message, response_size: int,
+                   response_category=None) -> float:
+        """Estimated request/response latency (used by planners only)."""
+        category = response_category or request.category
+        del category  # size-based; category kept for future queueing models
+        return self.config.transfer_time(
+            request.size_bytes
+        ) + self.config.transfer_time(response_size)

@@ -1,0 +1,65 @@
+"""Network presets matching the paper's simulation sweep.
+
+Section 5: "We simulated the various protocols at bit rates roughly
+corresponding to switched (i.e. no collisions) conventional, fast, and
+gigabit Ethernet" with per-message software costs of 100 us, 20 us,
+5 us, 1 us, and 500 ns (the x-axes of Figures 6-8).
+"""
+
+from __future__ import annotations
+
+from repro.net.network import NetworkConfig
+
+#: Conventional switched Ethernet (Figure 6).
+ETHERNET_10M = NetworkConfig(
+    bandwidth_bps=10e6, software_cost_s=100e-6, name="10Mbps"
+)
+
+#: Fast Ethernet (Figure 7).
+FAST_ETHERNET_100M = NetworkConfig(
+    bandwidth_bps=100e6, software_cost_s=100e-6, name="100Mbps"
+)
+
+#: Gigabit Ethernet (Figure 8).
+GIGABIT_1G = NetworkConfig(
+    bandwidth_bps=1e9, software_cost_s=100e-6, name="1Gbps"
+)
+
+#: The five software (messaging protocol) startup costs of Figures 6-8,
+#: from heavyweight kernel TCP down to user-level active messages.
+SOFTWARE_COSTS = {
+    "100us": 100e-6,
+    "20us": 20e-6,
+    "5us": 5e-6,
+    "1us": 1e-6,
+    "500ns": 500e-9,
+}
+
+_PRESETS = {
+    "10Mbps": ETHERNET_10M,
+    "100Mbps": FAST_ETHERNET_100M,
+    "1Gbps": GIGABIT_1G,
+}
+
+
+def preset_network(bandwidth: str, software_cost: str = "100us") -> NetworkConfig:
+    """Look up a paper sweep point, e.g. ``preset_network("1Gbps", "5us")``."""
+    try:
+        base = _PRESETS[bandwidth]
+    except KeyError:
+        raise KeyError(
+            f"unknown bandwidth preset {bandwidth!r}; choose from {sorted(_PRESETS)}"
+        ) from None
+    try:
+        cost = SOFTWARE_COSTS[software_cost]
+    except KeyError:
+        raise KeyError(
+            f"unknown software cost {software_cost!r}; "
+            f"choose from {sorted(SOFTWARE_COSTS)}"
+        ) from None
+    return NetworkConfig(
+        bandwidth_bps=base.bandwidth_bps,
+        software_cost_s=cost,
+        propagation_s=base.propagation_s,
+        name=f"{bandwidth}@{software_cost}",
+    )

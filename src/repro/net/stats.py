@@ -1,0 +1,145 @@
+"""Network accounting: the measurement surface of the reproduction.
+
+Figures 2-5 of the paper plot *bytes transferred to maintain the
+consistency of each shared object*; Figures 6-8 plot *total message
+time* for a shared object under different bandwidth / software-cost
+points.  :class:`NetworkStats` accumulates exactly those series, plus
+per-category tallies used by the message-count claims and ablations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.net.message import Message, MessageCategory
+from repro.util.ids import ObjectId
+
+
+@dataclass
+class ObjectTraffic:
+    """Per-object consistency-maintenance traffic totals."""
+
+    bytes: int = 0
+    messages: int = 0
+    time: float = 0.0
+    data_bytes: int = 0  # bytes in PAGE_DATA / UPDATE_PUSH messages only
+    data_messages: int = 0
+
+    def record(self, message: Message, transfer_time: float) -> None:
+        self.bytes += message.size_bytes
+        self.messages += 1
+        self.time += transfer_time
+        if message.category.is_consistency_data:
+            self.data_bytes += message.size_bytes
+            self.data_messages += 1
+
+
+@dataclass
+class NodeTraffic:
+    """Per-node send/receive totals (load-balance diagnostics)."""
+
+    sent_bytes: int = 0
+    sent_messages: int = 0
+    received_bytes: int = 0
+    received_messages: int = 0
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate, per-object, and per-node network counters."""
+
+    total_bytes: int = 0
+    total_messages: int = 0
+    total_time: float = 0.0
+    by_category_bytes: Dict[MessageCategory, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    by_category_messages: Dict[MessageCategory, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    by_object: Dict[ObjectId, ObjectTraffic] = field(default_factory=dict)
+    by_node: Dict[object, NodeTraffic] = field(default_factory=dict)
+
+    def record(self, message: Message, transfer_time: float) -> None:
+        """Account one delivered (non-local) message."""
+        self.total_bytes += message.size_bytes
+        self.total_messages += 1
+        self.total_time += transfer_time
+        self.by_category_bytes[message.category] += message.size_bytes
+        self.by_category_messages[message.category] += 1
+        if message.object_id is not None:
+            traffic = self.by_object.get(message.object_id)
+            if traffic is None:
+                traffic = self.by_object[message.object_id] = ObjectTraffic()
+            traffic.record(message, transfer_time)
+        sender = self.by_node.setdefault(message.src, NodeTraffic())
+        sender.sent_bytes += message.size_bytes
+        sender.sent_messages += 1
+        receiver = self.by_node.setdefault(message.dst, NodeTraffic())
+        receiver.received_bytes += message.size_bytes
+        receiver.received_messages += 1
+
+    # -- derived views used by the benches --------------------------------
+
+    def object_bytes(self, object_id: ObjectId) -> int:
+        traffic = self.by_object.get(object_id)
+        return traffic.bytes if traffic else 0
+
+    def object_time(self, object_id: ObjectId) -> float:
+        traffic = self.by_object.get(object_id)
+        return traffic.time if traffic else 0.0
+
+    def object_messages(self, object_id: ObjectId) -> int:
+        traffic = self.by_object.get(object_id)
+        return traffic.messages if traffic else 0
+
+    def consistency_bytes(self) -> int:
+        """Bytes in page/update data messages (the Figures 2-5 metric)."""
+        return sum(
+            count
+            for category, count in self.by_category_bytes.items()
+            if category.is_consistency_data
+        )
+
+    def category_bytes(self, category: MessageCategory) -> int:
+        return self.by_category_bytes.get(category, 0)
+
+    def category_messages(self, category: MessageCategory) -> int:
+        return self.by_category_messages.get(category, 0)
+
+    def node_imbalance(self) -> float:
+        """Max/mean ratio of per-node sent+received bytes (1.0 = even)."""
+        if not self.by_node:
+            return 1.0
+        loads = [
+            traffic.sent_bytes + traffic.received_bytes
+            for traffic in self.by_node.values()
+        ]
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict summary for reports and EXPERIMENTS.md tables."""
+        return {
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+            "total_time": self.total_time,
+            "consistency_bytes": self.consistency_bytes(),
+            "node_imbalance": self.node_imbalance(),
+            "by_category_bytes": {
+                category.value: count
+                for category, count in sorted(
+                    self.by_category_bytes.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "by_category_messages": {
+                category.value: count
+                for category, count in sorted(
+                    self.by_category_messages.items(), key=lambda kv: kv[0].value
+                )
+            },
+        }

@@ -1,0 +1,51 @@
+"""The shared-object model: how users declare transactional classes.
+
+A shared class declares sized attributes and transactional methods::
+
+    @shared_class
+    class Account:
+        balance = Attr(size=8, default=0)
+        history = Array(size=16, count=256, default=None)
+
+        @method
+        def deposit(self, ctx, amount):
+            self.balance += amount
+
+        @method
+        def audit(self, ctx, other):
+            total = self.balance
+            total += yield ctx.invoke(other, "balance_of")
+            return total
+
+Every method invocation is a [sub-]transaction (§3.3).  The
+``@shared_class`` decorator plays the paper's compiler role: it runs
+attribute access analysis on each method, records the class's memory
+layout parameters, and arranges for lock acquire/release to be inserted
+around each invocation automatically (§3.5) — the user never writes a
+synchronization operation.
+"""
+
+from repro.objects.schema import (
+    Attr,
+    Array,
+    ClassSchema,
+    MethodSpec,
+    method,
+    shared_class,
+)
+from repro.objects.proxy import ArrayView, InstrumentedSelf
+from repro.objects.registry import ObjectHandle, ObjectMeta, ObjectRegistry
+
+__all__ = [
+    "Attr",
+    "Array",
+    "ClassSchema",
+    "MethodSpec",
+    "method",
+    "shared_class",
+    "ArrayView",
+    "InstrumentedSelf",
+    "ObjectHandle",
+    "ObjectMeta",
+    "ObjectRegistry",
+]

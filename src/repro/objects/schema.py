@@ -1,0 +1,205 @@
+"""Shared-class declarations and compile-time schema construction."""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
+
+from repro.analysis import AccessSets, analyze_invocations, analyze_method
+from repro.memory.layout import AttributeSpec, ObjectLayout
+from repro.util.errors import ConfigurationError
+
+
+class Attr:
+    """Declares a scalar attribute with an on-page size in bytes."""
+
+    def __init__(self, size: int = 8, default: object = 0):
+        if size <= 0:
+            raise ConfigurationError("Attr size must be positive")
+        self.size = size
+        self.default = default
+
+
+class Array(Attr):
+    """Declares a fixed-length array attribute.
+
+    Elements are addressed as ``self.name[i]``; each element occupies
+    ``size`` bytes, so a large array spans many pages and element
+    writes dirty only the pages holding that element — the case where
+    page-granular transfer shines.
+    """
+
+    def __init__(self, size: int, count: int, default: object = 0):
+        super().__init__(size=size, default=default)
+        if count <= 1:
+            raise ConfigurationError("Array count must be > 1 (use Attr for scalars)")
+        self.count = count
+
+
+def method(func: Optional[Callable] = None, *,
+           reads: Optional[Iterable[str]] = None,
+           writes: Optional[Iterable[str]] = None) -> Callable:
+    """Marks a function as a transactional method.
+
+    With no arguments the access sets come from static analysis; the
+    optional ``reads`` / ``writes`` lists *override* the corresponding
+    analyzed set (modelling a sharper compiler, or — deliberately — an
+    unsound one, which exercises LOTEC's demand-fetch repair path).
+    """
+
+    def mark(f: Callable) -> Callable:
+        f.__repro_method__ = {
+            "reads": frozenset(reads) if reads is not None else None,
+            "writes": frozenset(writes) if writes is not None else None,
+        }
+        return f
+
+    if func is not None:
+        return mark(func)
+    return mark
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One transactional method, with its predicted access sets.
+
+    ``access`` is the final (post-override) attribute access sets with
+    the ALL sentinel already resolved against the class's attributes.
+    ``analyzed`` preserves the raw static-analysis result for the
+    prediction ablation and for the conservatism test suite.
+    ``invoked_methods`` is the §5.1 invocation prediction: literal
+    method names this method may invoke as sub-transactions (or the
+    UNKNOWN sentinel); drives the optimistic prefetcher.
+    """
+
+    name: str
+    func: Callable
+    is_generator: bool
+    access: AccessSets
+    analyzed: AccessSets
+    invoked_methods: object = None
+
+    @property
+    def may_invoke(self) -> bool:
+        """False only when analysis proved this method invokes nothing."""
+        from repro.analysis import may_invoke as _may_invoke
+
+        if not self.is_generator:
+            return False
+        if self.invoked_methods is None:
+            return True
+        return _may_invoke(self.invoked_methods)
+
+    @property
+    def is_update(self) -> bool:
+        """True when the method may write: it takes a Write lock."""
+        return bool(self.access.writes)
+
+
+class ClassSchema:
+    """Everything the runtime needs to know about one shared class."""
+
+    def __init__(self, name: str, attributes: Tuple[AttributeSpec, ...],
+                 methods: Dict[str, MethodSpec]):
+        self.name = name
+        self.attributes = attributes
+        self.methods = methods
+        self._attr_names = frozenset(spec.name for spec in attributes)
+
+    def attribute_names(self) -> frozenset:
+        return self._attr_names
+
+    def method_spec(self, name: str) -> MethodSpec:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise KeyError(
+                f"class {self.name!r} has no method {name!r}; "
+                f"have {sorted(self.methods)}"
+            ) from None
+
+    def make_layout(self, page_size: int) -> ObjectLayout:
+        return ObjectLayout(self.attributes, page_size=page_size)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClassSchema {self.name}: {len(self.attributes)} attrs, "
+            f"{len(self.methods)} methods>"
+        )
+
+
+def build_schema(cls: type) -> ClassSchema:
+    """Extract attribute specs and analyzed methods from a class body."""
+    attributes = []
+    raw_methods: Dict[str, Callable] = {}
+    for name, value in vars(cls).items():
+        if isinstance(value, Attr):
+            count = value.count if isinstance(value, Array) else 1
+            attributes.append(
+                AttributeSpec(name=name, size_bytes=value.size,
+                              count=count, default=value.default)
+            )
+        elif callable(value) and hasattr(value, "__repro_method__"):
+            raw_methods[name] = value
+    if not attributes:
+        raise ConfigurationError(
+            f"shared class {cls.__name__} declares no Attr/Array attributes"
+        )
+    if not raw_methods:
+        raise ConfigurationError(
+            f"shared class {cls.__name__} declares no @method methods"
+        )
+    attr_names = frozenset(spec.name for spec in attributes)
+    methods: Dict[str, MethodSpec] = {}
+    for name, func in raw_methods.items():
+        analyzed = analyze_method(func, class_methods=raw_methods)
+        # Method names picked up as "reads" by the analyzer (self.m(...)
+        # also loads the name m) are not data attributes; resolve()
+        # intersects with the real attribute set.
+        analyzed = analyzed.resolve(attr_names)
+        overrides = func.__repro_method__
+        reads = overrides["reads"] if overrides["reads"] is not None else analyzed.reads
+        writes = (
+            overrides["writes"] if overrides["writes"] is not None else analyzed.writes
+        )
+        for declared, label in ((reads, "reads"), (writes, "writes")):
+            unknown = frozenset(declared) - attr_names
+            if unknown:
+                raise ConfigurationError(
+                    f"{cls.__name__}.{name}: {label} annotation names unknown "
+                    f"attributes {sorted(unknown)}"
+                )
+        methods[name] = MethodSpec(
+            name=name,
+            func=func,
+            is_generator=inspect.isgeneratorfunction(func),
+            access=AccessSets(reads=frozenset(reads), writes=frozenset(writes)),
+            analyzed=analyzed,
+            invoked_methods=analyze_invocations(func),
+        )
+    return ClassSchema(name=cls.__name__, attributes=tuple(attributes),
+                       methods=methods)
+
+
+def shared_class(cls: type) -> type:
+    """Class decorator: compile the class into a :class:`ClassSchema`.
+
+    The schema is attached as ``cls.__repro_schema__``; the class itself
+    is returned unchanged so it still reads naturally in user code and
+    in tests.
+    """
+    cls.__repro_schema__ = build_schema(cls)
+    return cls
+
+
+def schema_of(cls_or_schema: Union[type, ClassSchema]) -> ClassSchema:
+    """Accept either a decorated class or a schema built by hand."""
+    if isinstance(cls_or_schema, ClassSchema):
+        return cls_or_schema
+    schema = getattr(cls_or_schema, "__repro_schema__", None)
+    if schema is None:
+        raise ConfigurationError(
+            f"{cls_or_schema!r} is not a shared class (missing @shared_class)"
+        )
+    return schema

@@ -1,0 +1,164 @@
+"""Transaction context: the ``ctx`` handed to every method body.
+
+The context is the runtime half of the paper's automatic
+synchronization story: the user never locks anything — attribute
+access flows through :meth:`read_slot` / :meth:`write_slot` (via the
+instrumented ``self``), sub-transactions are spawned by yielding
+:meth:`invoke`, and everything else (locks, transfers, undo, dirty
+tracking) happens underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from repro.memory.layout import Slot
+from repro.objects.registry import ObjectHandle, ObjectMeta
+from repro.util.errors import ConfigurationError, ProtocolError, TransactionAborted
+
+
+@dataclass(frozen=True)
+class InvocationRequest:
+    """A sub-transaction request produced by :meth:`TxnContext.invoke`.
+
+    Method bodies *yield* these; the executor turns each into a child
+    transaction and resumes the body with the child's result.
+    """
+
+    handle: ObjectHandle
+    method_name: str
+    args: Tuple
+
+
+class TxnContext:
+    """Runtime services scoped to one executing [sub-]transaction."""
+
+    def __init__(self, runtime, txn, meta: ObjectMeta, spec,
+                 allow_invoke: bool):
+        self._runtime = runtime
+        self.txn = txn
+        self._meta = meta
+        self._spec = spec
+        self._allow_invoke = allow_invoke
+        self.actual_reads: Set[str] = set()
+        self.actual_writes: Set[str] = set()
+
+    # -- user-facing API ----------------------------------------------------
+
+    @property
+    def txn_id(self):
+        return self.txn.id
+
+    @property
+    def node(self):
+        return self.txn.node
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._runtime.env.now
+
+    def invoke(self, handle: ObjectHandle, method_name: str,
+               *args) -> InvocationRequest:
+        """Request a sub-transaction; must be *yielded* by the method.
+
+        Only generator methods can suspend, so only they may invoke:
+        declare the method with a ``yield`` (``result = yield
+        ctx.invoke(obj, "m", ...)``).
+        """
+        if not self._allow_invoke:
+            raise ConfigurationError(
+                f"method on {self._meta.object_id!r} is not a generator; "
+                f"only generator methods (containing 'yield') may invoke "
+                f"sub-transactions"
+            )
+        if not isinstance(handle, ObjectHandle):
+            raise TypeError(
+                f"invoke() needs an ObjectHandle, got {type(handle).__name__}"
+            )
+        handle.meta.schema.method_spec(method_name)  # fail fast on typos
+        return InvocationRequest(handle=handle, method_name=method_name,
+                                 args=tuple(args))
+
+    def abort(self, reason: str = "user") -> None:
+        """Abort the current transaction (undone and, for a
+        sub-transaction, reported to the parent as an exception it may
+        catch to retry — §3.2's re-execution allowance)."""
+        raise TransactionAborted(self.txn.id, reason)
+
+    # -- slot access (called by the instrumented proxy) ------------------------
+
+    def read_slot(self, meta: ObjectMeta, slot: Slot):
+        self._check_same_object(meta)
+        pages = meta.layout.slot_pages(*slot)
+        self._ensure_current(meta, pages, is_write=False)
+        self._touch(meta, slot[0], pages, is_write=False)
+        return self._store().read_slot(meta.object_id, slot)
+
+    def write_slot(self, meta: ObjectMeta, slot: Slot, value) -> None:
+        self._check_same_object(meta)
+        self._check_write_allowed(meta, slot[0])
+        pages = meta.layout.slot_pages(*slot)
+        self._ensure_current(meta, pages, is_write=True)
+        store = self._store()
+        self.txn.undo.before_write(store, meta.object_id, slot, pages)
+        store.write_slot(meta.object_id, slot, value)
+        self.txn.record_dirty(meta.object_id, pages)
+        self._touch(meta, slot[0], pages, is_write=True)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _store(self):
+        return self._runtime.stores[self.txn.node]
+
+    def _check_same_object(self, meta: ObjectMeta) -> None:
+        if meta.object_id != self._meta.object_id:
+            raise ProtocolError(
+                f"transaction {self.txn.id!r} on {self._meta.object_id!r} "
+                f"touched {meta.object_id!r} directly; other objects are "
+                f"reached only via ctx.invoke()"
+            )
+
+    def _check_write_allowed(self, meta: ObjectMeta, attr: str) -> None:
+        """Writes must be covered by the method's predicted write set.
+
+        The conservative analysis guarantees this; an explicit
+        ``writes=`` annotation that lied is tolerated only when the
+        method still took a write lock (some other attribute was
+        declared) — the miss is repaired and counted.  A write under a
+        read lock would break serializability and is refused.
+        """
+        spec = self._spec
+        if attr in spec.access.writes:
+            return
+        if not spec.is_update:
+            raise ProtocolError(
+                f"method {spec.name!r} wrote attribute {attr!r} under a READ "
+                f"lock: its writes= annotation declared no writes, which is "
+                f"unsound"
+            )
+
+    def _ensure_current(self, meta: ObjectMeta, pages, is_write: bool) -> None:
+        entry = self._runtime.directory.entry(meta.object_id)
+        store = self._store()
+        stale = [
+            page
+            for page in pages
+            if store.page_version(meta.object_id, page) < entry.latest_version(page)
+        ]
+        if not stale:
+            return
+        delay = self._runtime.protocol.for_meta(meta).on_stale_access(
+            self.txn, meta, entry.page_map, stale, is_write
+        )
+        root = self.txn.root
+        root.pending_delay += delay
+
+    def _touch(self, meta: ObjectMeta, attr: str, pages, is_write: bool) -> None:
+        if is_write:
+            self.actual_writes.add(attr)
+        else:
+            self.actual_reads.add(attr)
+        root = self.txn.root
+        root.touch_pages.setdefault(meta.object_id, set()).update(pages)

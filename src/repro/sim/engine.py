@@ -1,0 +1,98 @@
+"""The simulation environment: virtual clock plus pending-event heap."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.util.errors import ConfigurationError
+
+
+class Environment:
+    """Owns simulated time and executes triggered events in order.
+
+    Events scheduled for the same instant are processed in trigger
+    order (FIFO), which makes runs fully deterministic — essential for
+    reproducible experiments and for the seeded workload generator.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._sequence = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factory helpers -------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock to it."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final simulated time.  With ``until`` set, the clock
+        is advanced exactly to ``until`` even if the last event fires
+        earlier, matching the usual DES convention.
+        """
+        if until is not None and until < self._now:
+            raise ConfigurationError(
+                f"run(until={until}) is before current time {self._now}"
+            )
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: spawn a process, run to completion, return value.
+
+        Raises the process's exception if it terminated with one.
+        """
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.triggered:
+            raise ConfigurationError(
+                f"process {proc} did not finish (waiting on an event "
+                f"nothing will ever trigger)"
+            )
+        if not proc.ok:
+            raise proc.value
+        return proc.value

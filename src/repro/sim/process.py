@@ -1,0 +1,70 @@
+"""Processes: generators driven by the event loop.
+
+A process generator ``yield``s :class:`~repro.sim.events.Event`
+instances.  When a yielded event fires, the engine resumes the
+generator with the event's value; if the event *failed*, the exception
+is thrown into the generator at the yield point so ordinary
+``try/except`` implements wait-abort semantics (this is how a blocked
+lock waiter learns it was chosen as a deadlock victim).
+
+A process is itself an event: it succeeds with the generator's return
+value, or fails with the exception that escaped the generator.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.events import Event
+
+
+class Process(Event):
+    """Wraps a generator and steps it as its awaited events fire."""
+
+    def __init__(self, env, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__} "
+                f"(did you call the function instead of passing its generator?)"
+            )
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on = None
+        # Kick off on a zero-delay event so creation order does not matter.
+        bootstrap = Event(env, name=f"init:{self.name}")
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def _resume(self, fired: Event) -> None:
+        self._waiting_on = None
+        try:
+            if fired.ok:
+                target = self._generator.send(fired.value)
+            else:
+                target = self._generator.throw(fired.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must propagate into event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            exc = TypeError(
+                f"process {self.name!r} yielded {target!r}; "
+                f"processes may only yield simulation events"
+            )
+            try:
+                self._generator.throw(exc)
+            except BaseException as raised:  # noqa: BLE001
+                self.fail(raised)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else ("ok" if self.ok else "failed")
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,17 @@
+"""Nested object transactions and nested object 2PL (O2PL).
+
+:mod:`repro.txn.transaction` models the transaction tree of §3 (every
+method invocation is a [sub-]transaction; families are rooted at user
+invocations) and the per-transaction state the algorithms need: undo
+log, dirtied pages, and the set of objects whose locks the transaction
+holds or retains.
+
+:mod:`repro.txn.locks` is the lock manager — the executable form of
+Algorithms 4.1-4.4, charging GDO messages on the simulated network and
+cooperating with the deadlock detector.
+"""
+
+from repro.txn.transaction import Transaction, TxnState, TxnStats
+from repro.txn.locks import LockManager
+
+__all__ = ["Transaction", "TxnState", "TxnStats", "LockManager"]

@@ -1,0 +1,446 @@
+"""The lock manager: Algorithms 4.1-4.4 on the simulated network.
+
+Lock processing is split exactly as in the paper:
+
+* **Local operations** touch only the holder list cached at the site
+  where the holding family executes — they cost no messages.  These are
+  intra-family acquisitions, pre-commit lock inheritance, and
+  sub-transaction aborts whose locks stay retained by an ancestor.
+* **Global operations** message the object's GDO home node: first
+  acquisition by a family, enqueueing behind another family, root
+  commit/abort release (with piggybacked dirty-page info), and the
+  grant messages that carry the holder list and page map to a newly
+  admitted family's site (Algorithm 4.2 / 4.4).
+
+The generator methods (``acquire``, ``root_commit_release``, the abort
+releases) are simulation processes: ``yield``ed sends advance the
+virtual clock and are charged to :class:`~repro.net.NetworkStats`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.gdo.cache import EntryCacheTracker
+from repro.gdo.directory import Directory
+from repro.gdo.entry import DirectoryEntry, GrantDecision, LockMode, Waiter
+from repro.net.message import Message, MessageCategory
+from repro.net.network import Network
+from repro.net.sizes import SizeModel
+from repro.txn.transaction import Transaction
+from repro.util.errors import DeadlockError, ProtocolError, RecursiveInvocationError
+from repro.util.ids import NodeId, ObjectId
+
+
+@dataclass
+class LockStats:
+    """Lock-operation counters (the §5.1 locking-overhead discussion)."""
+
+    local_acquisitions: int = 0
+    global_acquisitions: int = 0
+    waits: int = 0
+    deadlocks: int = 0
+    recursive_rejections: int = 0
+    prefetch_granted: int = 0
+    prefetch_denied: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "local_acquisitions": self.local_acquisitions,
+            "global_acquisitions": self.global_acquisitions,
+            "waits": self.waits,
+            "deadlocks": self.deadlocks,
+            "recursive_rejections": self.recursive_rejections,
+            "prefetch_granted": self.prefetch_granted,
+            "prefetch_denied": self.prefetch_denied,
+        }
+
+
+@dataclass
+class _BlockedFamily:
+    object_id: ObjectId
+    waiter: Waiter
+    txn: Transaction
+
+
+class LockManager:
+    """Drives directory entries, charges GDO traffic, detects deadlock."""
+
+    def __init__(self, env, network: Network, directory: Directory,
+                 sizes: SizeModel, cache: EntryCacheTracker,
+                 allow_recursive_reads: bool = False):
+        self.env = env
+        self.network = network
+        self.directory = directory
+        self.sizes = sizes
+        self.cache = cache
+        self.allow_recursive_reads = allow_recursive_reads
+        self.stats = LockStats()
+        # At most one blocked transaction per (sequential) family.
+        self._blocked: Dict[int, _BlockedFamily] = {}
+        # Per-object grant history: (family root serial, mode, sim time)
+        # in grant order.  Feeds the precedence-graph oracle
+        # (repro.runtime.verify.check_conflict_serializability).
+        self.grant_history: Dict[ObjectId, List[Tuple[int, LockMode, float]]] = {}
+
+    def _record_grant(self, object_id: ObjectId, txn, mode: LockMode) -> None:
+        self.grant_history.setdefault(object_id, []).append(
+            (txn.id.root, mode, self.env.now)
+        )
+
+    # ------------------------------------------------------------------
+    # Acquisition (Algorithms 4.1 and 4.2)
+    # ------------------------------------------------------------------
+
+    def acquire(self, txn: Transaction, object_id: ObjectId, mode: LockMode):
+        """Acquire the object's lock for ``txn`` (simulation process).
+
+        Returns the page-map snapshot sent with a *global* grant, or
+        ``None`` for purely local grants (no data movement is implied
+        by a local grant — the family's site already has whatever it
+        fetched at its global acquisition).
+        """
+        entry = self.directory.entry(object_id)
+        node = txn.node
+        # Algorithm 4.1: serve from the locally cached holder list when
+        # this site caches the entry AND the requester belongs to the
+        # holding family; every other case forwards to the global path.
+        if (
+            self.cache.is_local(object_id, node)
+            and entry.family_present(txn.id.root)
+        ):
+            decision = entry.decide(txn, mode, self.allow_recursive_reads)
+            if decision is GrantDecision.RECURSIVE:
+                self.stats.recursive_rejections += 1
+                raise RecursiveInvocationError(txn.id, object_id)
+            if decision is GrantDecision.GRANTED:
+                entry.grant(txn, mode)
+                self._record_grant(object_id, txn, mode)
+                txn.lock_objects.add(object_id)
+                self.stats.local_acquisitions += 1
+                return None
+            if decision is GrantDecision.WAIT_LOCAL:
+                self.stats.local_acquisitions += 1
+                payload = yield from self._wait(entry, txn, mode, local=True)
+                txn.lock_objects.add(object_id)
+                return payload
+            # WAIT_GLOBAL: our family retains the lock, but readers from
+            # another family also hold it — Algorithm 4.1's ELSE branch
+            # forwards such requests to GlobalLockAcquisition.
+        # Algorithm 4.2: global processing at the entry's home node.
+        self.stats.global_acquisitions += 1
+        request = Message(
+            src=node, dst=entry.home_node,
+            category=MessageCategory.LOCK_REQUEST,
+            size_bytes=self.sizes.lock_request(), object_id=object_id,
+        )
+        yield self.network.send(request)
+        family_already_present = entry.family_present(txn.id.root)
+        decision = entry.decide(txn, mode, self.allow_recursive_reads)
+        if decision is GrantDecision.RECURSIVE:
+            self.stats.recursive_rejections += 1
+            raise RecursiveInvocationError(txn.id, object_id)
+        if decision is GrantDecision.GRANTED:
+            entry.grant(txn, mode)
+            self._record_grant(object_id, txn, mode)
+            self.cache.on_granted(object_id, node)
+            if family_already_present:
+                # Re-entrant grant (the family already holds/retains the
+                # lock, e.g. after its cached entry was displaced): no
+                # page map and NO data transfer — the family's site has
+                # been current since its first acquisition, and may hold
+                # uncommitted writes a transfer must never clobber.
+                snapshot = None
+                grant_size = self.sizes.control()
+            else:
+                snapshot = entry.page_map_snapshot()
+                grant_size = self.sizes.lock_grant(
+                    holder_entries=len(entry.holder_entries()),
+                    page_map_entries=len(snapshot),
+                )
+            grant = Message(
+                src=entry.home_node, dst=node,
+                category=MessageCategory.LOCK_GRANT,
+                size_bytes=grant_size,
+                object_id=object_id,
+            )
+            yield self.network.send(grant)
+            txn.lock_objects.add(object_id)
+            self.directory.refresh_deadlock_edges(object_id)
+            # A grant can complete a cycle for families already queued
+            # behind this lock (reader preference), so re-check.
+            self._detect_deadlocks()
+            return snapshot
+        payload = yield from self._wait(
+            entry, txn, mode, local=(decision is GrantDecision.WAIT_LOCAL)
+        )
+        txn.lock_objects.add(object_id)
+        return payload
+
+    def try_prefetch(self, txn: Transaction, object_id: ObjectId,
+                     mode: LockMode):
+        """Optimistic, non-blocking pre-acquisition (§5.1/§6).
+
+        Charges a GDO round trip; if the lock is free for ``txn`` it is
+        granted and immediately demoted to *retained* so descendants of
+        ``txn`` acquire it locally.  If not immediately grantable, the
+        request gives up (no queueing — optimism never blocks, so it
+        cannot add deadlocks).  Returns the page-map snapshot on a
+        fresh grant, else None.
+        """
+        entry = self.directory.entry(object_id)
+        node = txn.node
+        if entry.family_present(txn.id.root):
+            return None  # already ours: nothing to pre-acquire
+        request = Message(
+            src=node, dst=entry.home_node,
+            category=MessageCategory.LOCK_REQUEST,
+            size_bytes=self.sizes.lock_request(), object_id=object_id,
+        )
+        yield self.network.send(request)
+        decision = entry.decide(txn, mode, self.allow_recursive_reads)
+        if decision is not GrantDecision.GRANTED or entry.family_present(
+            txn.id.root
+        ):
+            self.stats.prefetch_denied += 1
+            nack = Message(
+                src=entry.home_node, dst=node,
+                category=MessageCategory.CONTROL,
+                size_bytes=self.sizes.control(), object_id=object_id,
+            )
+            yield self.network.send(nack)
+            return None
+        entry.grant(txn, mode)
+        self._record_grant(object_id, txn, mode)
+        entry.demote_to_retained(txn)
+        self.cache.on_granted(object_id, node)
+        self.stats.prefetch_granted += 1
+        snapshot = entry.page_map_snapshot()
+        grant = Message(
+            src=entry.home_node, dst=node,
+            category=MessageCategory.LOCK_GRANT,
+            size_bytes=self.sizes.lock_grant(
+                holder_entries=len(entry.holder_entries()),
+                page_map_entries=len(snapshot),
+            ),
+            object_id=object_id,
+        )
+        yield self.network.send(grant)
+        txn.lock_objects.add(object_id)
+        self.directory.refresh_deadlock_edges(object_id)
+        self._detect_deadlocks()
+        return snapshot
+
+    def _wait(self, entry: DirectoryEntry, txn: Transaction, mode: LockMode,
+              local: bool):
+        """Block until granted; raises DeadlockError if chosen as victim."""
+        self.stats.waits += 1
+        waiter = Waiter(txn=txn, mode=mode,
+                        wake=self.env.event(name=f"lockwait:{entry.object_id!r}"))
+        if local:
+            entry.enqueue_local(waiter)
+        else:
+            entry.enqueue_global(waiter)
+        root = txn.id.root
+        if root in self._blocked:
+            raise ProtocolError(
+                f"family {root} blocked twice concurrently; families are "
+                f"sequential (one live request at a time)"
+            )
+        self._blocked[root] = _BlockedFamily(
+            object_id=entry.object_id, waiter=waiter, txn=txn
+        )
+        self.directory.refresh_deadlock_edges(entry.object_id)
+        self._detect_deadlocks()
+        try:
+            payload = yield waiter.wake
+        finally:
+            self._blocked.pop(root, None)
+        self._record_grant(entry.object_id, txn, mode)
+        return payload
+
+    def _detect_deadlocks(self) -> None:
+        """Search for cycles from every blocked family; abort victims.
+
+        Cycles can appear not only when a family enqueues but also when
+        a *grant* changes an entry's blocker set (reader preference can
+        admit family B onto a lock family A already waits for), so this
+        runs after every edge refresh.  Victim removal changes the
+        graph; loop until no cycle remains.
+        """
+        progress = True
+        while progress:
+            progress = False
+            for start_root in sorted(self._blocked):
+                cycle = self.directory.deadlock.find_cycle(start_root)
+                if cycle is None:
+                    continue
+                self._abort_victim(cycle)
+                progress = True
+                break
+
+    def _abort_victim(self, cycle) -> None:
+        victim_root = self.directory.deadlock.pick_victim(cycle)
+        blocked = self._blocked.get(victim_root)
+        if blocked is None:
+            # The victim family is running (not blocked): it cannot be
+            # preempted mid-method; abort the youngest *blocked* family
+            # in the cycle instead.
+            blocked_roots = [r for r in cycle if r in self._blocked]
+            if not blocked_roots:
+                raise ProtocolError(f"deadlock cycle {cycle} with no blocked family")
+            victim_root = max(blocked_roots)
+            blocked = self._blocked[victim_root]
+        self.stats.deadlocks += 1
+        self._blocked.pop(victim_root, None)
+        entry = self.directory.entry(blocked.object_id)
+        entry.remove_waiter(blocked.txn.id)
+        self.directory.refresh_deadlock_edges(blocked.object_id)
+        blocked.waiter.wake.fail(DeadlockError(blocked.txn.id, cycle))
+
+    # ------------------------------------------------------------------
+    # Release (Algorithms 4.3 and 4.4)
+    # ------------------------------------------------------------------
+
+    def precommit_release(self, txn: Transaction) -> None:
+        """Pre-commit lock disposition — purely local (Algorithm 4.3).
+
+        The parent inherits and retains every lock ``txn`` holds or
+        retains; any now-grantable local waiter is woken on the spot.
+        """
+        parent = txn.parent
+        if parent is None:
+            raise ProtocolError("precommit_release on a root transaction")
+        for object_id in sorted(txn.lock_objects):
+            entry = self.directory.entry(object_id)
+            entry.release_to_parent(txn, parent)
+            for waiter in entry.pump(self.allow_recursive_reads):
+                waiter.wake.succeed(None)
+
+    def sub_abort_release(self, txn: Transaction):
+        """Sub-transaction abort (Algorithm 4.3, last case) — process.
+
+        Locks retained by an ancestor stay retained (local, free);
+        locks the family no longer needs are released globally with no
+        dirty-page info.
+        """
+        freed: List[ObjectId] = []
+        for object_id in sorted(txn.lock_objects):
+            entry = self.directory.entry(object_id)
+            family_gone = entry.release_on_abort(txn)
+            if family_gone:
+                # Defer pumping to the global path so newly admitted
+                # families get their grant message and cache update.
+                freed.append(object_id)
+            else:
+                for waiter in entry.pump(self.allow_recursive_reads):
+                    waiter.wake.succeed(None)
+        yield from self._global_release(
+            node=txn.node, root_serial=txn.id.root, object_ids=freed,
+            dirty={}, resident_versions={},
+        )
+
+    def root_commit_release(self, root: Transaction, resident_versions):
+        """Root commit (Algorithm 4.4) — simulation process.
+
+        ``resident_versions`` maps object id -> {page: local version} at
+        the committing node; with the dirty sets accumulated up the
+        tree it updates the page map before other families are admitted.
+        """
+        yield from self._global_release(
+            node=root.node, root_serial=root.id.root,
+            object_ids=sorted(root.lock_objects),
+            dirty=root.dirty, resident_versions=resident_versions,
+        )
+
+    def root_abort_release(self, root: Transaction):
+        """Root abort: release everything, no dirty info (Algorithm 4.3)."""
+        yield from self._global_release(
+            node=root.node, root_serial=root.id.root,
+            object_ids=sorted(root.lock_objects),
+            dirty={}, resident_versions={},
+        )
+
+    def _global_release(self, node: NodeId, root_serial: int,
+                        object_ids: List[ObjectId],
+                        dirty: Dict[ObjectId, set],
+                        resident_versions: Dict[ObjectId, Dict[int, int]]):
+        if not object_ids:
+            return
+        # One release message per distinct home node, dirty info
+        # piggybacked (§4.1: "Dirty page information may be piggybacked
+        # on each global lock release message").
+        by_home: Dict[NodeId, List[ObjectId]] = defaultdict(list)
+        for object_id in object_ids:
+            by_home[self.directory.entry(object_id).home_node].append(object_id)
+        sends = []
+        for home, oids in sorted(by_home.items()):
+            dirty_entries = sum(len(dirty.get(oid, ())) for oid in oids)
+            message = Message(
+                src=node, dst=home,
+                category=MessageCategory.LOCK_RELEASE,
+                size_bytes=self.sizes.lock_release(dirty_entries),
+            )
+            sends.append(self.network.send(message))
+        yield self.env.all_of(sends)
+        for object_id in object_ids:
+            entry = self.directory.entry(object_id)
+            entry.apply_commit(
+                node,
+                dirty.get(object_id, ()),
+                resident_versions.get(object_id, {}),
+            )
+            roots_before = entry.blocking_family_roots()
+            entry.release_family(root_serial)
+            # Drop any of our own stragglers still queued (family abort).
+            for waiter in entry.remove_family_waiters(root_serial):
+                if not waiter.wake.triggered:
+                    waiter.wake.fail(
+                        ProtocolError(f"waiter of released family {root_serial}")
+                    )
+            if entry.is_free:
+                # Other families may still hold the lock (shared read):
+                # their site's cached holder list stays authoritative.
+                self.cache.on_freed(object_id)
+            woken = entry.pump(self.allow_recursive_reads)
+            self._deliver_grants(entry, woken, roots_before)
+            self.directory.refresh_deadlock_edges(object_id)
+        self._detect_deadlocks()
+
+    def _deliver_grants(self, entry: DirectoryEntry, woken: List[Waiter],
+                        roots_before) -> None:
+        """Send grant messages to newly admitted families (Algorithm 4.4:
+        "Send the list pointed to by HolderPtr and the page map to the
+        new holder's site").  Waiters wake when the grant arrives."""
+        if not woken:
+            return
+        snapshot = entry.page_map_snapshot()
+        by_site: Dict[NodeId, List[Waiter]] = defaultdict(list)
+        immediate: List[Waiter] = []
+        for waiter in woken:
+            if waiter.txn_id.root in roots_before:
+                immediate.append(waiter)  # family already held: local wake
+            else:
+                by_site[waiter.txn.node].append(waiter)
+        for waiter in immediate:
+            waiter.wake.succeed(None)
+        for site, waiters in sorted(by_site.items()):
+            self.cache.on_granted(entry.object_id, site)
+            grant = Message(
+                src=entry.home_node, dst=site,
+                category=MessageCategory.LOCK_GRANT,
+                size_bytes=self.sizes.lock_grant(
+                    holder_entries=len(entry.holder_entries()),
+                    page_map_entries=len(snapshot),
+                ),
+                object_id=entry.object_id,
+            )
+            delivery = self.network.send(grant)
+
+            def wake_all(_event, group=tuple(waiters), payload=snapshot):
+                for waiter in group:
+                    waiter.wake.succeed(payload)
+
+            delivery.add_callback(wake_all)

@@ -1,0 +1,199 @@
+"""Transaction tree state for nested object transactions (§3).
+
+A :class:`Transaction` is created per method invocation: user
+invocations create roots, invocations made inside a transaction create
+children (the 1:1 mapping of §3.3).  Transaction families execute at a
+single site (§4.1), so ``node`` is identical across a family.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.memory.undo import UndoLog
+from repro.util.errors import ProtocolError
+from repro.util.ids import NodeId, ObjectId, TxnId
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    PRECOMMITTED = "precommitted"  # sub-transaction committed, locks inherited
+    COMMITTED = "committed"        # root committed, locks released globally
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One [sub-]transaction and its recovery / locking state."""
+
+    def __init__(self, txn_id: TxnId, node: NodeId,
+                 parent: Optional["Transaction"] = None,
+                 label: str = "", recovery_factory=UndoLog):
+        if parent is not None and parent.node != node:
+            raise ProtocolError(
+                "transaction families execute at a single site (§4.1); "
+                f"child at {node!r} differs from parent at {parent.node!r}"
+            )
+        self.id = txn_id
+        self.node = node
+        self.parent = parent
+        self.label = label
+        self.children: List[Transaction] = []
+        self.state = TxnState.ACTIVE
+        # Recovery state: UndoLog (default) or ShadowLog (§4.1 offers
+        # both).  Children must use the same mechanism as their parent
+        # so logs can merge at pre-commit; the executor guarantees it.
+        self.undo = recovery_factory()
+        # Pages dirtied by *this* transaction's own writes (plus, after
+        # pre-commits, those inherited from children — dirty information
+        # flows up the tree exactly like locks do).
+        self.dirty: Dict[ObjectId, Set[int]] = {}
+        # Objects whose locks this transaction holds or retains.
+        self.lock_objects: Set[ObjectId] = set()
+        # Family-level accounting, meaningful on the root: network delay
+        # deferred from synchronous demand fetches, pages shipped at
+        # acquisitions, and pages actually touched (for over-prediction
+        # accounting at commit).
+        self.pending_delay: float = 0.0
+        self.transfer_log: Dict[ObjectId, Set[int]] = {}
+        self.touch_pages: Dict[ObjectId, Set[int]] = {}
+        # Page-map snapshots from lock-only prefetches: the data
+        # transfer they deferred runs at the object's first real use.
+        self.prefetch_maps: Dict[ObjectId, dict] = {}
+        if parent is None:
+            self._ancestor_ids: FrozenSet[TxnId] = frozenset()
+            self.depth = 0
+        else:
+            self._ancestor_ids = parent._ancestor_ids | {parent.id}
+            self.depth = parent.depth + 1
+            parent.children.append(self)
+
+    # -- tree structure -------------------------------------------------------
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def root(self) -> "Transaction":
+        txn = self
+        while txn.parent is not None:
+            txn = txn.parent
+        return txn
+
+    def is_ancestor_of(self, other: "Transaction") -> bool:
+        """Proper ancestor test (a transaction is not its own ancestor)."""
+        return self.id in other._ancestor_ids
+
+    def ancestors(self) -> List["Transaction"]:
+        chain = []
+        txn = self.parent
+        while txn is not None:
+            chain.append(txn)
+            txn = txn.parent
+        return chain
+
+    # -- write tracking ---------------------------------------------------------
+
+    def record_dirty(self, object_id: ObjectId, pages) -> None:
+        self.dirty.setdefault(object_id, set()).update(pages)
+
+    def family_dirty_view(self) -> Dict[ObjectId, Set[int]]:
+        """Dirty pages across this transaction and its live ancestors
+        (used by release piggybacking at the root)."""
+        merged: Dict[ObjectId, Set[int]] = {}
+        for txn in [self] + self.ancestors():
+            for object_id, pages in txn.dirty.items():
+                merged.setdefault(object_id, set()).update(pages)
+        return merged
+
+    # -- state transitions ---------------------------------------------------------
+
+    def precommit(self) -> None:
+        """Sub-transaction commit: effects and locks pass to the parent.
+
+        Rule 3 of §4.1 — callable only on sub-transactions whose
+        children have all finished (enforced), and only once.
+        """
+        if self.parent is None:
+            raise ProtocolError("roots commit, they do not pre-commit")
+        if self.state is not TxnState.ACTIVE:
+            raise ProtocolError(f"precommit of {self.id!r} in state {self.state}")
+        for child in self.children:
+            if child.state is TxnState.ACTIVE:
+                raise ProtocolError(
+                    f"{self.id!r} cannot pre-commit: child {child.id!r} active "
+                    f"(rule 3: all sub-transactions must have finished)"
+                )
+        self.state = TxnState.PRECOMMITTED
+        self.parent.undo.merge_child(self.undo)
+        for object_id, pages in self.dirty.items():
+            self.parent.record_dirty(object_id, pages)
+        self.dirty.clear()
+        self.parent.lock_objects.update(self.lock_objects)
+
+    def mark_committed(self) -> None:
+        if not self.is_root:
+            raise ProtocolError("only roots reach COMMITTED")
+        if self.state is not TxnState.ACTIVE:
+            raise ProtocolError(f"commit of {self.id!r} in state {self.state}")
+        self.state = TxnState.COMMITTED
+
+    def mark_aborted(self) -> None:
+        self.state = TxnState.ABORTED
+
+    def __repr__(self) -> str:
+        return f"<Txn {self.id!r} {self.state.value} @{self.node!r} {self.label}>"
+
+
+@dataclass
+class TxnStats:
+    """Outcome counters for one run (root-transaction granularity)."""
+
+    commits: int = 0
+    aborts_user: int = 0
+    aborts_deadlock: int = 0
+    aborts_recursive: int = 0
+    retries: int = 0
+    sub_commits: int = 0
+    sub_aborts: int = 0
+    root_latencies: List[float] = field(default_factory=list)
+
+    @property
+    def total_roots(self) -> int:
+        return self.commits + self.aborts_user + self.aborts_recursive
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.root_latencies:
+            return 0.0
+        return sum(self.root_latencies) / len(self.root_latencies)
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency percentile (nearest-rank); ``fraction`` in [0, 1]."""
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        if not self.root_latencies:
+            return 0.0
+        ordered = sorted(self.root_latencies)
+        rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return ordered[rank]
+
+    def throughput(self, elapsed: float) -> float:
+        """Committed roots per simulated second."""
+        if elapsed <= 0:
+            return 0.0
+        return self.commits / elapsed
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "commits": self.commits,
+            "aborts_user": self.aborts_user,
+            "aborts_deadlock": self.aborts_deadlock,
+            "aborts_recursive": self.aborts_recursive,
+            "retries": self.retries,
+            "sub_commits": self.sub_commits,
+            "sub_aborts": self.sub_aborts,
+            "mean_latency": self.mean_latency,
+        }

@@ -1,0 +1,73 @@
+"""Exception hierarchy used across the LOTEC reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the interesting cases (deadlock, transaction abort,
+recursive invocation) by subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class ProtocolError(ReproError):
+    """An internal protocol invariant was violated.
+
+    Raised when the lock manager, directory, or consistency protocol
+    observes a state that the algorithms of the paper forbid.  These
+    indicate bugs (or deliberately injected faults in tests), never
+    user error.
+    """
+
+
+class TransactionAborted(ReproError):
+    """A transaction was aborted and its effects rolled back.
+
+    Attributes:
+        txn_id: identifier of the aborted transaction.
+        reason: short machine-readable reason string, e.g. ``"deadlock"``,
+            ``"user"``, ``"parent-abort"``.
+    """
+
+    def __init__(self, txn_id, reason: str = "user"):
+        super().__init__(f"transaction {txn_id} aborted ({reason})")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class DeadlockError(TransactionAborted):
+    """The deadlock detector chose this transaction as its victim.
+
+    The paper's algorithms do not address inter-family deadlock; this
+    reproduction adds waits-for-graph detection at the GDO (see
+    DESIGN.md §2, "Substitutions").  The victim's family is aborted and
+    may be retried by the caller.
+    """
+
+    def __init__(self, txn_id, cycle=None):
+        TransactionAborted.__init__(self, txn_id, reason="deadlock")
+        self.cycle = list(cycle) if cycle is not None else []
+
+
+class RecursiveInvocationError(ReproError):
+    """A method invoked (directly or indirectly) an object whose lock is
+    *held* (not merely retained) by one of its ancestors.
+
+    Section 3.4 of the paper precludes mutually recursive invocations and
+    verifies compliance at run time; this is the corresponding error.
+    """
+
+    def __init__(self, txn_id, object_id):
+        super().__init__(
+            f"transaction {txn_id} recursively invoked object {object_id} "
+            f"whose lock is held by an ancestor"
+        )
+        self.txn_id = txn_id
+        self.object_id = object_id

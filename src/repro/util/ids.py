@@ -1,0 +1,102 @@
+"""Typed identifiers for nodes, objects, pages, and transactions.
+
+The paper's data structures key on ``<transaction id, node id>`` pairs
+(GDO holder lists) and ``(object, page)`` pairs (page maps).  We give
+each of these a small, hashable, ordered NewType-style wrapper so that
+mixing them up is caught early and ``repr`` output in logs and test
+failures is self-describing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    """Identifier of a node (site) in the simulated cluster."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"N{self.value}"
+
+
+@dataclass(frozen=True, order=True)
+class ObjectId:
+    """Identifier of a shared object registered in the GDO."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"O{self.value}"
+
+
+@dataclass(frozen=True, order=True)
+class PageId:
+    """Identifier of one page of one object.
+
+    Pages are object-relative: ``PageId(ObjectId(3), 2)`` is the third
+    page of object O3.  The paper tracks per-object page maps in the GDO,
+    so pages never need a global flat namespace.
+    """
+
+    object_id: ObjectId
+    index: int
+
+    def __repr__(self) -> str:
+        return f"{self.object_id!r}.p{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class TxnId:
+    """Identifier of a [sub-]transaction.
+
+    ``root`` is the identifier of the family's root transaction so that
+    family membership tests (rule 1 of §4.1) are O(1); ``serial`` orders
+    transactions globally and doubles as the age used by the deadlock
+    detector's youngest-victim policy.
+    """
+
+    serial: int
+    root: int
+
+    @property
+    def is_root(self) -> bool:
+        return self.serial == self.root
+
+    def same_family(self, other: "TxnId") -> bool:
+        return self.root == other.root
+
+    def __repr__(self) -> str:
+        if self.is_root:
+            return f"T{self.serial}"
+        return f"T{self.serial}/r{self.root}"
+
+
+@dataclass
+class IdAllocator:
+    """Monotonic allocator for each identifier kind.
+
+    A single allocator is owned by the :class:`repro.runtime.Cluster`
+    so identifiers are unique cluster-wide and deterministic for a given
+    run (no global mutable state: two clusters never share counters).
+    """
+
+    _nodes: itertools.count = field(default_factory=itertools.count)
+    _objects: itertools.count = field(default_factory=itertools.count)
+    _txns: itertools.count = field(default_factory=itertools.count)
+
+    def next_node(self) -> NodeId:
+        return NodeId(next(self._nodes))
+
+    def next_object(self) -> ObjectId:
+        return ObjectId(next(self._objects))
+
+    def next_root_txn(self) -> TxnId:
+        serial = next(self._txns)
+        return TxnId(serial=serial, root=serial)
+
+    def next_sub_txn(self, parent: TxnId) -> TxnId:
+        return TxnId(serial=next(self._txns), root=parent.root)

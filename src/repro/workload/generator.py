@@ -1,0 +1,231 @@
+"""Plan-tree generation: the randomized nested transactions of §5.
+
+A *plan* is the static shape of one root transaction: which object it
+runs on, which method, and the tree of sub-invocations underneath.
+Plans reference objects by index so that the identical workload can be
+instantiated on any number of clusters (one per protocol under
+comparison, plus the serial oracle's replay).
+
+Recursion is avoided by construction — a plan never invokes an object
+already on its ancestor path — matching the paper's §3.4 choice to
+preclude mutually recursive invocations ("our experience has been that
+such mutually recursive invocations are infrequent in practice").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.rng import SeededRNG
+from repro.workload.params import WorkloadParams
+from repro.workload.synth import SyntheticClassFactory, SyntheticClassInfo
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One invocation in a plan tree (object index + method + children).
+
+    ``inject_abort`` makes the synthetic body call ``ctx.abort()`` right
+    after its writes — deterministic fault injection for rollback
+    testing under load.
+    """
+
+    obj_index: int
+    method_name: str
+    salt: int
+    children: Tuple["PlanNode", ...] = ()
+    inject_abort: bool = False
+
+    def injects_abort(self) -> bool:
+        """Does any invocation in this subtree inject an abort?"""
+        return self.inject_abort or any(
+            child.injects_abort() for child in self.children
+        )
+
+    def size(self) -> int:
+        """Number of invocations in this subtree (including self)."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def objects_touched(self) -> frozenset:
+        touched = {self.obj_index}
+        for child in self.children:
+            touched |= child.objects_touched()
+        return frozenset(touched)
+
+
+@dataclass
+class Workload:
+    """A fully generated workload: classes, object population, plans."""
+
+    params: WorkloadParams
+    classes: List[SyntheticClassInfo]
+    object_classes: List[int]  # object index -> class index
+    plans: List[PlanNode]
+    arrival_offsets: List[float]
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.object_classes)
+
+    def class_of(self, obj_index: int) -> SyntheticClassInfo:
+        return self.classes[self.object_classes[obj_index]]
+
+    def total_invocations(self) -> int:
+        return sum(plan.size() for plan in self.plans)
+
+    def with_plans(self, plans: Sequence[PlanNode],
+                   arrival_offsets: Optional[Sequence[float]] = None) -> "Workload":
+        """Same classes and object population, hand-written plans.
+
+        Lets tests and experiments script *exact* interleavings (a
+        specific deadlock, a targeted hot-spot) on top of the generated
+        class/object world.  Plans are validated against the population:
+        object indexes must exist, method names must be on the object's
+        class menu, and no plan may invoke an object already on its
+        ancestor path (§3.4 recursion preclusion).
+        """
+        plans = list(plans)
+        for plan in plans:
+            self._validate_plan(plan, path=frozenset())
+        if arrival_offsets is None:
+            offsets = [0.0] * len(plans)
+        else:
+            offsets = list(arrival_offsets)
+            if len(offsets) != len(plans):
+                raise ValueError(
+                    f"{len(offsets)} arrival offsets for {len(plans)} plans"
+                )
+        return Workload(
+            params=self.params, classes=self.classes,
+            object_classes=self.object_classes, plans=plans,
+            arrival_offsets=offsets,
+        )
+
+    def _validate_plan(self, plan: PlanNode, path: frozenset) -> None:
+        if not 0 <= plan.obj_index < self.num_objects:
+            raise ValueError(
+                f"plan references object {plan.obj_index}; workload has "
+                f"{self.num_objects} objects"
+            )
+        if plan.obj_index in path:
+            raise ValueError(
+                f"plan recursively invokes object {plan.obj_index} "
+                f"(precluded, §3.4)"
+            )
+        schema = self.class_of(plan.obj_index).schema
+        if plan.method_name not in schema.methods:
+            raise ValueError(
+                f"object {plan.obj_index} ({schema.name}) has no method "
+                f"{plan.method_name!r}"
+            )
+        for child in plan.children:
+            self._validate_plan(child, path | {plan.obj_index})
+
+
+def generate_workload(params: WorkloadParams, seed: int,
+                      page_size: int = 4096) -> Workload:
+    """Generate classes, object population, and root plans from a seed."""
+    rng = SeededRNG(seed).derive("workload")
+    factory = SyntheticClassFactory(rng.derive("classes"), page_size)
+    classes = [
+        factory.make_class(
+            name=f"Synth{index}",
+            pages=rng.randint(params.pages_min, params.pages_max),
+            access_fraction=params.access_fraction,
+            write_fraction=params.write_fraction,
+        )
+        for index in range(params.num_classes)
+    ]
+    assign_rng = rng.derive("assign")
+    object_classes = [
+        assign_rng.randint(0, params.num_classes - 1)
+        for _ in range(params.num_objects)
+    ]
+    plan_rng = rng.derive("plans")
+    plans = [
+        _generate_plan(plan_rng, params, classes, object_classes)
+        for _ in range(params.num_roots)
+    ]
+    arrival_rng = rng.derive("arrivals")
+    offsets: List[float] = []
+    clock = 0.0
+    for _ in plans:
+        if params.mean_interarrival_s > 0:
+            clock += arrival_rng.expovariate(1.0 / params.mean_interarrival_s)
+        offsets.append(clock)
+    return Workload(
+        params=params, classes=classes, object_classes=object_classes,
+        plans=plans, arrival_offsets=offsets,
+    )
+
+
+def _generate_plan(rng: SeededRNG, params: WorkloadParams,
+                   classes: Sequence[SyntheticClassInfo],
+                   object_classes: Sequence[int]) -> PlanNode:
+    root_obj = rng.zipf_index(params.num_objects, params.skew)
+    return _generate_node(rng, params, classes, object_classes,
+                          obj_index=root_obj, depth=0, path={root_obj})
+
+
+def _pick_method(rng: SeededRNG, info: SyntheticClassInfo,
+                 update_fraction: float) -> str:
+    if info.update_methods and (
+        not info.read_methods or rng.maybe(update_fraction)
+    ):
+        return rng.choice(info.update_methods)
+    return rng.choice(info.read_methods)
+
+
+def _generate_node(rng: SeededRNG, params: WorkloadParams,
+                   classes: Sequence[SyntheticClassInfo],
+                   object_classes: Sequence[int],
+                   obj_index: int, depth: int, path: set) -> PlanNode:
+    info = classes[object_classes[obj_index]]
+    method_name = _pick_method(rng, info, params.update_fraction)
+    children: List[PlanNode] = []
+    if depth < params.max_depth:
+        # Branching decays geometrically with depth so trees stay small
+        # but occasionally run deep.
+        expected = params.mean_branch / (depth + 1)
+        count = 0
+        while rng.random() < expected / (expected + 1) and count < 6:
+            count += 1
+        for _ in range(count):
+            child_obj = _pick_child_object(rng, params, path)
+            if child_obj is None:
+                break
+            path.add(child_obj)
+            children.append(
+                _generate_node(rng, params, classes, object_classes,
+                               obj_index=child_obj, depth=depth + 1,
+                               path=path)
+            )
+            path.discard(child_obj)
+    return PlanNode(
+        obj_index=obj_index,
+        method_name=method_name,
+        salt=rng.randint(0, (1 << 31) - 1),
+        children=tuple(children),
+        inject_abort=rng.maybe(params.abort_probability),
+    )
+
+
+def _pick_child_object(rng: SeededRNG, params: WorkloadParams,
+                       path: set) -> Optional[int]:
+    """Zipf-skewed object choice avoiding the current invocation path
+    (precluding recursion, §3.4).  Bounded rejection sampling: heavy
+    skew can make every draw land on an ancestor."""
+    for _ in range(12):
+        candidate = rng.zipf_index(params.num_objects, params.skew)
+        if candidate not in path:
+            return candidate
+    remaining = [i for i in range(params.num_objects) if i not in path]
+    if not remaining:
+        return None
+    return rng.choice(remaining)

@@ -1,0 +1,118 @@
+"""Workload parameter space and the paper's four scenario presets.
+
+Figure 2/4: "medium sized objects (on the order of one to five pages)"
+under high and moderate contention; Figure 3/5: "larger objects of ten
+to twenty pages".  High contention concentrates a larger transaction
+load on fewer objects with stronger access skew; moderate contention
+spreads a similar load over five times as many objects (the paper's
+Figures 4/5 label objects up to O99 versus O19 for the high-contention
+runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Knobs of the synthetic nested-object transaction generator.
+
+    Attributes:
+        num_objects: shared objects in play.
+        num_classes: distinct synthetic classes (objects share them).
+        pages_min / pages_max: object size range in pages.
+        num_roots: root transactions to generate.
+        max_depth: maximum nesting depth of invocation trees.
+        mean_branch: average sub-invocations at the root (decays with
+            depth).
+        update_fraction: probability a chosen method is an updater.
+        access_fraction: (lo, hi) fraction of a class's attributes one
+            method may access — the paper's "only a subset of which are
+            normally updated by any method/transaction".
+        write_fraction: fraction of a method's accessed attributes it
+            writes.
+        skew: Zipf-like exponent for object choice (0 = uniform);
+            drives contention.
+        mean_interarrival_s: exponential arrival pacing of roots
+            (0 = all submitted at time zero).
+        abort_probability: per-invocation chance of an injected
+            ``ctx.abort()`` fired *after* the invocation's writes —
+            fault injection that exercises closed-nesting rollback
+            under concurrency.
+    """
+
+    num_objects: int = 20
+    num_classes: int = 6
+    pages_min: int = 1
+    pages_max: int = 5
+    num_roots: int = 60
+    max_depth: int = 3
+    mean_branch: float = 2.0
+    update_fraction: float = 0.95
+    access_fraction: Tuple[float, float] = (0.3, 0.65)
+    write_fraction: float = 0.85
+    skew: float = 0.8
+    mean_interarrival_s: float = 0.0005
+    abort_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 1 or self.num_classes < 1:
+            raise ConfigurationError("need at least one object and one class")
+        if not 1 <= self.pages_min <= self.pages_max:
+            raise ConfigurationError("need 1 <= pages_min <= pages_max")
+        if self.num_roots < 0 or self.max_depth < 0:
+            raise ConfigurationError("num_roots/max_depth must be non-negative")
+        if self.mean_branch < 0:
+            raise ConfigurationError("mean_branch must be non-negative")
+        lo, hi = self.access_fraction
+        if not 0 < lo <= hi <= 1:
+            raise ConfigurationError("access_fraction must satisfy 0 < lo <= hi <= 1")
+        if not 0 <= self.update_fraction <= 1:
+            raise ConfigurationError("update_fraction must be in [0, 1]")
+        if not 0 < self.write_fraction <= 1:
+            raise ConfigurationError("write_fraction must be in (0, 1]")
+        if self.skew < 0 or self.mean_interarrival_s < 0:
+            raise ConfigurationError("skew/interarrival must be non-negative")
+        if not 0 <= self.abort_probability <= 1:
+            raise ConfigurationError("abort_probability must be in [0, 1]")
+
+    def scaled(self, factor: float) -> "WorkloadParams":
+        """Cheaper/costlier copy: scales the root-transaction count
+        (tests use small factors, benches the full size)."""
+        return replace(self, num_roots=max(1, int(self.num_roots * factor)))
+
+
+#: Figure 2 — medium objects (1-5 pages), high contention, objects O0-O19.
+MEDIUM_HIGH = WorkloadParams(
+    num_objects=20, num_classes=6, pages_min=1, pages_max=5,
+    num_roots=120, skew=0.9,
+)
+
+#: Figure 3 — large objects (10-20 pages), high contention.
+LARGE_HIGH = WorkloadParams(
+    num_objects=20, num_classes=6, pages_min=10, pages_max=20,
+    num_roots=120, skew=0.9,
+)
+
+#: Figure 4 — medium objects, moderate contention, objects up to O99.
+MEDIUM_MODERATE = WorkloadParams(
+    num_objects=100, num_classes=10, pages_min=1, pages_max=5,
+    num_roots=200, skew=0.35,
+)
+
+#: Figure 5 — large objects, moderate contention.
+LARGE_MODERATE = WorkloadParams(
+    num_objects=100, num_classes=10, pages_min=10, pages_max=20,
+    num_roots=200, skew=0.35,
+)
+
+SCENARIOS: Dict[str, WorkloadParams] = {
+    "medium-high": MEDIUM_HIGH,
+    "large-high": LARGE_HIGH,
+    "medium-moderate": MEDIUM_MODERATE,
+    "large-moderate": LARGE_MODERATE,
+}

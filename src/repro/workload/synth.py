@@ -1,0 +1,172 @@
+"""Synthetic shared classes for the randomized workload.
+
+Each synthetic class has a target size in pages, a set of sized scalar
+attributes packed across those pages, and a menu of methods, each with
+a *fixed* attribute access pattern (the subset a compiler would derive
+from its body).  Bodies read their read-set, run the plan's
+sub-invocations, then write a deterministic mix of what they read —
+which makes serializability violations observable as wrong final
+values, not just races.
+
+Method bodies here are built dynamically (closures over attribute
+lists), so static AST analysis cannot see their access sets; the exact
+sets are instead supplied as ``reads=``/``writes=`` overrides — the
+same mechanism a smarter compiler would use, and precisely what the
+paper assumes its compiler provides.  The hand-written example
+applications exercise the real AST analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.ast_analysis import ALL_ATTRIBUTES, AccessSets
+from repro.memory.layout import AttributeSpec
+from repro.objects.schema import ClassSchema, MethodSpec
+from repro.util.rng import SeededRNG
+
+_MASK = (1 << 31) - 1
+
+
+def mix(accumulator: int, value: int) -> int:
+    """Deterministic order-sensitive combiner used by synthetic bodies."""
+    return (accumulator * 1000003 + (int(value) & _MASK)) & _MASK
+
+
+def _make_body(read_attrs: Tuple[str, ...], write_attrs: Tuple[str, ...]):
+    """Build a generator method body with the given fixed access sets.
+
+    The body signature is ``(self, ctx, plan, handles)``; ``plan`` is a
+    :class:`repro.workload.generator.PlanNode` and ``handles`` the
+    cluster's object handle table.
+    """
+
+    def body(self, ctx, plan, handles):
+        acc = plan.salt & _MASK
+        for name in read_attrs:
+            acc = mix(acc, getattr(self, name))
+        for child in plan.children:
+            result = yield ctx.invoke(
+                handles[child.obj_index], child.method_name, child, handles
+            )
+            acc = mix(acc, result)
+        for index, name in enumerate(write_attrs):
+            # Salt selects a per-call subset of the declared write set:
+            # the conservative prediction stays a superset of what
+            # actually happens, as in real control-flow-dependent code.
+            if (plan.salt >> index) & 1 or index == 0:
+                setattr(self, name, mix(acc, index))
+        if plan.inject_abort:
+            # Fault injection: abort after the writes so rollback has
+            # real work to undo (closed nesting, §3.2).
+            ctx.abort("injected")
+        return acc
+
+    return body
+
+
+def _make_read_body(read_attrs: Tuple[str, ...]):
+    """Read-only variant (no writes, so it takes a READ lock)."""
+
+    def body(self, ctx, plan, handles):
+        acc = plan.salt & _MASK
+        for name in read_attrs:
+            acc = mix(acc, getattr(self, name))
+        for child in plan.children:
+            result = yield ctx.invoke(
+                handles[child.obj_index], child.method_name, child, handles
+            )
+            acc = mix(acc, result)
+        if plan.inject_abort:
+            ctx.abort("injected")
+        return acc
+
+    return body
+
+
+@dataclass(frozen=True)
+class SyntheticClassInfo:
+    """A generated class plus generator-facing metadata."""
+
+    schema: ClassSchema
+    pages: int
+    update_methods: Tuple[str, ...]
+    read_methods: Tuple[str, ...]
+
+
+class SyntheticClassFactory:
+    """Generates random classes with subset-access methods."""
+
+    def __init__(self, rng: SeededRNG, page_size: int):
+        self._rng = rng
+        self.page_size = page_size
+
+    def make_class(self, name: str, pages: int,
+                   access_fraction: Tuple[float, float],
+                   write_fraction: float,
+                   num_methods: int = 5) -> SyntheticClassInfo:
+        """One synthetic class of roughly ``pages`` pages."""
+        attributes = self._make_attributes(pages)
+        attr_names = [spec.name for spec in attributes]
+        methods: Dict[str, MethodSpec] = {}
+        update_methods: List[str] = []
+        read_methods: List[str] = []
+        for index in range(num_methods):
+            method_name = f"m{index}"
+            fraction = self._rng.uniform(*access_fraction)
+            accessed_count = max(1, round(fraction * len(attr_names)))
+            accessed = tuple(self._rng.sample(attr_names, accessed_count))
+            # Every method menu keeps one pure reader (index 0) so read
+            # locks are exercised even at update_fraction == 1.
+            is_reader = index == 0
+            if is_reader:
+                reads, writes = accessed, ()
+                func = _make_read_body(accessed)
+                read_methods.append(method_name)
+            else:
+                write_count = max(1, round(write_fraction * len(accessed)))
+                writes = tuple(self._rng.sample(list(accessed), write_count))
+                reads = accessed
+                func = _make_body(accessed, writes)
+                update_methods.append(method_name)
+            methods[method_name] = MethodSpec(
+                name=method_name,
+                func=func,
+                is_generator=True,
+                access=AccessSets(reads=frozenset(reads),
+                                  writes=frozenset(writes)),
+                # Dynamic bodies defeat static analysis; record the
+                # honest (top) analysis result alongside the override.
+                analyzed=AccessSets(
+                    reads=ALL_ATTRIBUTES, writes=ALL_ATTRIBUTES
+                ).resolve(attr_names),
+            )
+        schema = ClassSchema(name=name, attributes=tuple(attributes),
+                             methods=methods)
+        return SyntheticClassInfo(
+            schema=schema, pages=pages,
+            update_methods=tuple(update_methods),
+            read_methods=tuple(read_methods),
+        )
+
+    def _make_attributes(self, pages: int) -> List[AttributeSpec]:
+        """Pack ~2 attributes per page with jittered sizes.
+
+        Total size lands just under ``pages * page_size`` so the layout
+        engine produces exactly the requested page count.
+        """
+        total = pages * self.page_size - self._rng.randint(1, self.page_size // 4)
+        count = max(2, 2 * pages)
+        cuts = sorted(
+            self._rng.randint(1, max(2, total - 1)) for _ in range(count - 1)
+        )
+        sizes = []
+        previous = 0
+        for cut in cuts + [total]:
+            sizes.append(max(8, cut - previous))
+            previous = cut
+        return [
+            AttributeSpec(name=f"a{index}", size_bytes=size, default=0)
+            for index, size in enumerate(sizes)
+        ]

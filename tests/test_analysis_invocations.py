@@ -1,0 +1,91 @@
+"""Unit tests for static invocation-target analysis (§5.1)."""
+
+from repro import Attr, method, shared_class
+from repro.analysis import UNKNOWN_INVOCATIONS, analyze_invocations, may_invoke
+
+
+class TestAnalyzeInvocations:
+    def test_plain_function_invokes_nothing(self):
+        def m(self, ctx):
+            return self.x
+
+        assert analyze_invocations(m) == frozenset()
+
+    def test_literal_invocations_found(self):
+        def m(self, ctx, a, b):
+            yield ctx.invoke(a, "deposit", 1)
+            result = yield ctx.invoke(b, "withdraw", 2)
+            return result
+
+        assert analyze_invocations(m) == {"deposit", "withdraw"}
+
+    def test_computed_name_is_unknown(self):
+        def m(self, ctx, a, name):
+            yield ctx.invoke(a, name)
+
+        assert analyze_invocations(m) is UNKNOWN_INVOCATIONS
+
+    def test_generator_without_invocations(self):
+        def m(self, ctx):
+            yield ctx.invoke  # not a call; weird but possible
+            return 1
+
+        assert analyze_invocations(m) == frozenset()
+
+    def test_invocations_inside_loops_and_branches(self):
+        def m(self, ctx, targets, flag):
+            for target in targets:
+                if flag:
+                    yield ctx.invoke(target, "ping")
+                else:
+                    yield ctx.invoke(target, "pong")
+
+        assert analyze_invocations(m) == {"ping", "pong"}
+
+    def test_unanalyzable_generator_degrades(self):
+        namespace = {}
+        exec(  # noqa: S102 - deliberately sourceless function
+            "def m(self, ctx, a):\n    yield ctx.invoke(a, 'hidden')\n",
+            namespace,
+        )
+        assert analyze_invocations(namespace["m"]) is UNKNOWN_INVOCATIONS
+
+    def test_may_invoke_helper(self):
+        assert not may_invoke(frozenset())
+        assert may_invoke(frozenset({"x"}))
+        assert may_invoke(UNKNOWN_INVOCATIONS)
+
+
+class TestSchemaIntegration:
+    def test_spec_carries_invocations(self):
+        @shared_class
+        class Caller:
+            x = Attr(size=8)
+
+            @method
+            def leaf(self, ctx):
+                return self.x
+
+            @method
+            def caller(self, ctx, other):
+                result = yield ctx.invoke(other, "leaf")
+                return result
+
+        schema = Caller.__repro_schema__
+        assert schema.method_spec("leaf").invoked_methods == frozenset()
+        assert not schema.method_spec("leaf").may_invoke
+        assert schema.method_spec("caller").invoked_methods == {"leaf"}
+        assert schema.method_spec("caller").may_invoke
+
+    def test_prefetch_skipped_for_non_invoking_roots(self):
+        from conftest import Counter, make_cluster
+
+        cluster = make_cluster(prefetch="locks+pages", seed=3)
+        counter = cluster.create(Counter)
+        other = cluster.create(Counter)
+        # 'add' provably invokes nothing: even with another handle in
+        # its arguments nothing must be pre-acquired.
+        cluster.call(counter, "add", 1)
+        assert cluster.lock_stats.prefetch_granted == 0
+        assert cluster.lock_stats.prefetch_denied == 0
+        del other

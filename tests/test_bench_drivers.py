@@ -1,0 +1,137 @@
+"""Fast tests of the experiment drivers and the ASCII reporting."""
+
+import pytest
+
+from repro.bench import (
+    format_series_table,
+    format_table,
+    run_bytes_figure,
+    run_claims_messages,
+    run_gdo_cache_ablation,
+    run_object_grain_ablation,
+    run_rc_ablation,
+    run_time_figure,
+)
+
+TINY = dict(seed=3, scale=0.08, num_nodes=3)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "count"], [["alpha", 12345], ["b", 7]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "12,345" in lines[2]
+        assert len(lines) == 4
+
+    def test_format_series_table(self):
+        text = format_series_table(
+            "title", "x", {"s1": {"a": 1, "b": 2}, "s2": {"a": 3}}
+        )
+        assert text.startswith("title")
+        assert "s1" in text and "s2" in text
+        # Missing points render empty, not crash.
+        assert "b" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.0001234], [1.5], [2.0]])
+        assert "1.234e-04" in text
+        assert "1.5" in text
+
+
+class TestBytesFigureDriver:
+    def test_same_axis_across_protocols(self):
+        result = run_bytes_figure("medium-high", objects_shown=6, **TINY)
+        axes = [tuple(points) for points in result.series.values()]
+        assert len(set(axes)) == 1
+        assert len(axes[0]) <= 6
+
+    def test_meta_totals_present(self):
+        result = run_bytes_figure("medium-high", objects_shown=4, **TINY)
+        for key in ("total_data_bytes", "total_messages", "committed"):
+            assert set(result.meta[key]) == {"cotec", "otec", "lotec"}
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_bytes_figure("nope", **TINY)
+
+    def test_totals_helper(self):
+        result = run_bytes_figure("medium-high", objects_shown=4, **TINY)
+        totals = result.totals()
+        for protocol, total in totals.items():
+            assert total == sum(result.series[protocol].values())
+
+    def test_render_contains_objects(self):
+        result = run_bytes_figure("medium-high", objects_shown=3, **TINY)
+        text = result.render()
+        assert "cotec" in text and "O" in text
+
+
+class TestTimeFigureDriver:
+    def test_sweep_points(self):
+        result = run_time_figure(
+            "100Mbps", software_costs=["100us", "500ns"], **TINY
+        )
+        for series in result.series.values():
+            assert list(series) == ["100us", "500ns"]
+            assert all(value >= 0 for value in series.values())
+
+    def test_times_fall_with_cheaper_messaging(self):
+        result = run_time_figure(
+            "1Gbps", software_costs=["100us", "500ns"], **TINY
+        )
+        for series in result.series.values():
+            assert series["100us"] >= series["500ns"]
+
+    def test_unknown_bandwidth_rejected(self):
+        with pytest.raises(KeyError):
+            run_time_figure("9Mbps", **TINY)
+
+
+class TestAblationDrivers:
+    def test_rc_driver_has_five_protocols(self):
+        result = run_rc_ablation(**TINY)
+        assert set(result.series["data_bytes"]) == {
+            "cotec", "otec", "lotec", "hlotec", "rc",
+        }
+
+    def test_object_grain_driver(self):
+        result = run_object_grain_ablation(**TINY)
+        assert set(result.series["data_bytes"]) == {"page", "object"}
+        assert result.series["mean_data_message_bytes"]["object"] <= \
+            result.series["mean_data_message_bytes"]["page"]
+
+    def test_gdo_cache_driver(self):
+        result = run_gdo_cache_ablation(**TINY)
+        assert result.series["local_ops"]["uncached"] == 0
+        assert result.series["cache_hit_rate"]["uncached"] == 0
+
+    def test_claims_messages_driver(self):
+        result = run_claims_messages(**TINY)
+        for metric in ("messages", "bytes", "mean_message_bytes"):
+            assert set(result.series[metric]) == {"cotec", "otec", "lotec"}
+
+
+class TestBarChart:
+    def test_chart_scales_to_peak(self):
+        from repro.bench import format_bar_chart
+
+        text = format_bar_chart(
+            "t", {"a": {"x": 100, "y": 50}, "b": {"x": 0}}, width=10
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "##########" in lines[2]   # the peak fills the width
+        # zero-valued bar renders empty but still shows its value
+        assert "| 0" in lines[3]
+        assert lines[5].count("#") == 5   # half the peak, half the bar
+
+    def test_chart_handles_empty_series(self):
+        from repro.bench import format_bar_chart
+
+        assert format_bar_chart("t", {}) == "t"
+
+    def test_result_render_chart(self):
+        result = run_bytes_figure("medium-high", objects_shown=3, **TINY)
+        chart = result.render_chart(width=20)
+        assert "cotec" in chart and "#" in chart

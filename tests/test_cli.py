@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment in EXPERIMENTS:
+            assert experiment in out
+        assert "medium-high" in out
+
+
+class TestExperiment:
+    def test_runs_and_prints_table(self, capsys):
+        code = main(["experiment", "abl-gdocache",
+                     "--scale", "0.1", "--seed", "2", "--nodes", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cached" in out and "uncached" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        target = tmp_path / "result.json"
+        code = main(["experiment", "msg-count", "--scale", "0.1",
+                     "--seed", "2", "--json", str(target)])
+        assert code == 0
+        data = json.loads(target.read_text())
+        assert data["x_label"] == "metric"
+        assert set(data["series"]["messages"]) == {"cotec", "otec", "lotec"}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_every_registered_id_is_callable(self):
+        # The registry must only name real drivers (smoke: signature
+        # check through a tiny run for the cheapest ones is covered
+        # above; here we just confirm the mapping values are callables).
+        assert all(callable(fn) for fn in EXPERIMENTS.values())
+        assert {"fig2", "fig8", "tab-speedup", "abl-recovery",
+                "abl-prefetch"} <= set(EXPERIMENTS)
+
+
+class TestCompare:
+    def test_compare_prints_all_protocols(self, capsys):
+        code = main(["compare", "--scenario", "medium-high",
+                     "--scale", "0.08", "--seed", "2", "--nodes", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for protocol in ("cotec", "otec", "lotec", "rc"):
+            assert protocol in out
+        assert "data bytes" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--scenario", "tiny-high"])
+
+
+class TestChartFlag:
+    def test_chart_rendering(self, capsys):
+        code = main(["experiment", "abl-gdocache", "--scale", "0.08",
+                     "--seed", "2", "--nodes", "3", "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "|" in out and "#" in out
+
+
+class TestMainModule:
+    def test_python_dash_m_entry(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "fig2" in result.stdout

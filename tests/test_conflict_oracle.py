@@ -1,0 +1,129 @@
+"""Tests for the precedence-graph (conflict-serializability) oracle."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import check_conflict_serializability, check_serializability
+from repro.gdo.entry import LockMode
+from repro.runtime import Cluster, ClusterConfig
+from repro.util.ids import ObjectId
+from repro.workload import WorkloadParams, generate_workload, run_workload
+
+from conftest import Counter, make_cluster
+
+
+class TestOracleOnRealRuns:
+    @pytest.mark.parametrize("protocol",
+                             ["cotec", "otec", "lotec", "hlotec", "rc"])
+    def test_contended_runs_are_conflict_serializable(self, protocol):
+        params = WorkloadParams(num_objects=6, num_classes=2, num_roots=25,
+                                pages_min=1, pages_max=3, skew=1.0)
+        workload = generate_workload(params, seed=41)
+        cluster = Cluster(ClusterConfig(num_nodes=4, protocol=protocol,
+                                        seed=41))
+        run_workload(cluster, workload)
+        assert check_conflict_serializability(cluster).equivalent
+
+    def test_grant_history_recorded(self, cluster):
+        counter = cluster.create(Counter)
+        cluster.call(counter, "add", 1)
+        cluster.call(counter, "get")
+        history = cluster.lockmgr.grant_history[counter.object_id]
+        assert len(history) == 2
+        assert history[0][1] is LockMode.WRITE
+        assert history[1][1] is LockMode.READ
+
+    def test_aborted_families_excluded(self):
+        from repro import TransactionAborted
+
+        cluster = make_cluster(seed=1)
+        counter = cluster.create(Counter)
+        with pytest.raises(TransactionAborted):
+            cluster.call(counter, "fail_after_write", 1)
+        cluster.call(counter, "add", 1)
+        report = check_conflict_serializability(cluster)
+        assert report.equivalent
+        # The aborted family appears in the raw history but not in the
+        # graph (only one committed family exists).
+        assert len(cluster.lockmgr.grant_history[counter.object_id]) == 2
+
+    def test_agrees_with_replay_oracle(self):
+        params = WorkloadParams(num_objects=8, num_classes=3, num_roots=30,
+                                pages_min=1, pages_max=4,
+                                abort_probability=0.1)
+        workload = generate_workload(params, seed=42)
+        cluster = Cluster(ClusterConfig(num_nodes=4, protocol="lotec",
+                                        seed=42))
+        run_workload(cluster, workload)
+        assert check_serializability(cluster).equivalent
+        assert check_conflict_serializability(cluster).equivalent
+
+
+class TestOracleDetectsCycles:
+    def test_injected_cycle_detected(self):
+        """Forge a grant history with a W-W cycle between two committed
+        families: the oracle must flag it."""
+        cluster = make_cluster(seed=1)
+        a = cluster.create(Counter)
+        b = cluster.create(Counter)
+        cluster.call(a, "add", 1)  # commits family; gives us serials
+        cluster.call(b, "add", 1)
+        first = cluster.commit_log[0].root_serial
+        second = cluster.commit_log[1].root_serial
+        cluster.lockmgr.grant_history[a.object_id] = [
+            (first, LockMode.WRITE, 0.0), (second, LockMode.WRITE, 1.0),
+        ]
+        cluster.lockmgr.grant_history[b.object_id] = [
+            (second, LockMode.WRITE, 0.5), (first, LockMode.WRITE, 1.5),
+        ]
+        report = check_conflict_serializability(cluster)
+        assert not report.equivalent
+        assert "cycle" in report.state_mismatches[0]
+
+    def test_rw_anti_dependency_closes_cycle(self):
+        """Reader-then-writer must order reader before writer: a forged
+        history where the edges only work out via an anti-dependency."""
+        cluster = make_cluster(seed=1)
+        a = cluster.create(Counter)
+        b = cluster.create(Counter)
+        cluster.call(a, "add", 1)
+        cluster.call(b, "add", 1)
+        first = cluster.commit_log[0].root_serial
+        second = cluster.commit_log[1].root_serial
+        cluster.lockmgr.grant_history[a.object_id] = [
+            (first, LockMode.READ, 0.0),     # first reads a
+            (second, LockMode.WRITE, 1.0),   # second overwrites a
+        ]
+        cluster.lockmgr.grant_history[b.object_id] = [
+            (second, LockMode.READ, 0.5),    # second reads b
+            (first, LockMode.WRITE, 1.5),    # first overwrites b
+        ]
+        report = check_conflict_serializability(cluster)
+        assert not report.equivalent
+
+    def test_read_read_never_conflicts(self):
+        cluster = make_cluster(seed=1)
+        a = cluster.create(Counter)
+        cluster.call(a, "get")
+        cluster.call(a, "get")
+        first = cluster.commit_log[0].root_serial
+        second = cluster.commit_log[1].root_serial
+        cluster.lockmgr.grant_history[a.object_id] = [
+            (first, LockMode.READ, 0.0), (second, LockMode.READ, 1.0),
+            (first, LockMode.READ, 2.0),
+        ]
+        assert check_conflict_serializability(cluster).equivalent
+
+
+class TestOracleProperty:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_runs_acyclic(self, seed):
+        params = WorkloadParams(num_objects=5, num_classes=2, num_roots=12,
+                                pages_min=1, pages_max=3, skew=1.2)
+        workload = generate_workload(params, seed=seed)
+        cluster = Cluster(ClusterConfig(num_nodes=3, protocol="lotec",
+                                        seed=seed))
+        run_workload(cluster, workload)
+        assert check_conflict_serializability(cluster).equivalent

@@ -1,0 +1,138 @@
+"""Tests for the user-facing TxnContext surface and executor timing."""
+
+import pytest
+
+from repro import Attr, ProtocolError, method, shared_class
+from repro.util.ids import TxnId
+
+from conftest import Counter, Ledger, make_cluster
+
+
+@shared_class
+class Introspector:
+    seen_node = Attr(size=8, default=0)
+    seen_time = Attr(size=8, default=0)
+
+    @method
+    def observe(self, ctx):
+        self.seen_node = ctx.node.value
+        self.seen_time = int(ctx.now * 1e9)
+        return (ctx.txn_id, ctx.node, ctx.now)
+
+
+class TestContextProperties:
+    def test_txn_identity_exposed(self):
+        cluster = make_cluster()
+        probe = cluster.create(Introspector)
+        txn_id, node, now = cluster.call(probe, "observe",
+                                         node=cluster.nodes[2])
+        assert isinstance(txn_id, TxnId)
+        assert txn_id.is_root
+        assert node == cluster.nodes[2]
+        assert now >= 0.0
+        assert cluster.read_attr(probe, "seen_node") == 2
+
+    def test_sub_txn_gets_child_identity(self):
+        @shared_class
+        class Wrapper:
+            x = Attr(size=8, default=0)
+
+            @method
+            def wrap(self, ctx, probe):
+                child_result = yield ctx.invoke(probe, "observe")
+                return (ctx.txn_id, child_result[0])
+
+        cluster = make_cluster()
+        probe = cluster.create(Introspector)
+        wrapper = cluster.create(Wrapper)
+        parent_id, child_id = cluster.call(wrapper, "wrap", probe)
+        assert parent_id.is_root
+        assert not child_id.is_root
+        assert child_id.root == parent_id.serial
+
+    def test_cross_object_direct_access_refused(self):
+        """The proxy of one object must not be usable to reach another
+        object's slots (other objects only via ctx.invoke)."""
+        cluster = make_cluster()
+        ledger = cluster.create(Ledger)
+        counter = cluster.create(Counter)
+        ctx_holder = {}
+
+        @shared_class
+        class Thief:
+            x = Attr(size=8, default=0)
+
+            @method
+            def steal(self, ctx, victim_meta):
+                ctx_holder["ctx"] = ctx
+                return self.x
+
+        thief = cluster.create(Thief)
+        cluster.call(thief, "steal", None)
+        ctx = ctx_holder["ctx"]
+        with pytest.raises(ProtocolError, match="ctx.invoke"):
+            ctx.read_slot(counter.meta, ("value", 0))
+
+
+class TestDemandFetchDelayAccounting:
+    def test_deferred_delay_advances_clock(self):
+        """A LOTEC demand fetch charges its network time at the next
+        suspension point: the commit happens later than a run where
+        everything was predicted."""
+        cluster = make_cluster(protocol="lotec", seed=4)
+        ledger = cluster.create(Ledger, node=cluster.nodes[0])
+        cluster.call(ledger, "bump_beta", 2, node=cluster.nodes[1])
+
+        @shared_class
+        class Driver:
+            n = Attr(size=8, default=0)
+
+            @method
+            def go(self, ctx, target):
+                yield ctx.invoke(target, "bump_alpha", 1)
+                total = yield ctx.invoke(target, "sum_all")
+                self.n += 1
+                return total
+
+        driver = cluster.create(Driver, node=cluster.nodes[2])
+        before_fetches = cluster.prediction_stats.demand_fetches
+        start = cluster.env.now
+        cluster.call(driver, "go", ledger, node=cluster.nodes[2])
+        elapsed = cluster.env.now - start
+        fetches = cluster.prediction_stats.demand_fetches - before_fetches
+        assert fetches > 0
+        # Every fetch's round trip is at least two software costs.
+        min_delay = fetches * 2 * cluster.config.network.software_cost_s
+        assert elapsed > min_delay
+
+
+class TestRetryBackoff:
+    def test_retries_are_spaced_in_time(self):
+        """Deadlock retries wait an exponential, jittered backoff: the
+        retried commit lands later than the conflict-free path."""
+        from repro import Attr, method, shared_class
+
+        @shared_class
+        class Grabber:
+            done = Attr(size=8, default=0)
+
+            @method
+            def both(self, ctx, first, second):
+                yield ctx.invoke(first, "add", 1)
+                yield ctx.invoke(second, "add", 1)
+                self.done += 1
+
+        cluster = make_cluster(protocol="lotec", seed=3,
+                               retry_backoff_s=0.05)
+        a = cluster.create(Counter, node=cluster.nodes[0])
+        b = cluster.create(Counter, node=cluster.nodes[1])
+        g1 = cluster.create(Grabber, node=cluster.nodes[2])
+        g2 = cluster.create(Grabber, node=cluster.nodes[3])
+        cluster.submit(g1, "both", a, b, node=cluster.nodes[2])
+        cluster.submit(g2, "both", b, a, node=cluster.nodes[3])
+        cluster.run()
+        assert cluster.read_attr(a, "value") == 2
+        if cluster.lock_stats.deadlocks:
+            # With a 50ms backoff base, the victim's retry pushes the
+            # end of the run past the backoff floor.
+            assert cluster.env.now > 0.05

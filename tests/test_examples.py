@@ -1,0 +1,62 @@
+"""Smoke tests: every example application runs end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600, check=True,
+    )
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "mean hit ratio" in out
+    assert "committed roots" in out
+
+
+def test_bank_branches():
+    out = run_example("bank_branches.py")
+    assert out.count("True") >= 4  # all four protocols serializable
+    assert "lotec" in out
+
+
+def test_cad_assembly():
+    out = run_example("cad_assembly.py")
+    assert "cotec" in out and "lotec" in out
+    # The three mass values must agree across protocols.
+    masses = [line.split()[1] for line in out.splitlines()
+              if line.strip().startswith(("cotec", "otec", "lotec"))]
+    assert len(set(masses)) == 1
+
+
+def test_order_processing():
+    out = run_example("order_processing.py")
+    assert out.count("True") >= 4
+    assert "tps" in out
+
+
+def test_mixed_protocols():
+    out = run_example("mixed_protocols.py")
+    assert "pure lotec" in out and "mixed" in out
+
+
+@pytest.mark.slow
+def test_network_sweep_quick_mode():
+    out = run_example("network_sweep.py")
+    assert "total message time" in out
+    assert "OTEC saves" in out
+
+
+def test_prefetch_latency():
+    out = run_example("prefetch_latency.py")
+    assert "locks+pages" in out
+    assert "hides" in out

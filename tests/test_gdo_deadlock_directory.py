@@ -1,0 +1,155 @@
+"""Unit tests for the deadlock detector, directory partitioning, and
+holder-list cache tracker."""
+
+import pytest
+
+from repro.gdo.cache import EntryCacheTracker
+from repro.gdo.deadlock import DeadlockDetector
+from repro.gdo.directory import Directory
+from repro.util.errors import ProtocolError
+from repro.util.ids import NodeId, ObjectId
+
+N0, N1, N2 = NodeId(0), NodeId(1), NodeId(2)
+O0, O1, O2 = ObjectId(0), ObjectId(1), ObjectId(2)
+
+
+class TestDeadlockDetector:
+    def test_no_edges_no_cycle(self):
+        detector = DeadlockDetector()
+        assert detector.find_cycle(1) is None
+
+    def test_two_family_cycle(self):
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({2}))
+        detector.update_entry(O1, waiting=frozenset({2}), blocking=frozenset({1}))
+        cycle = detector.find_cycle(1)
+        assert cycle is not None
+        assert set(cycle) == {1, 2}
+
+    def test_three_family_cycle(self):
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({2}))
+        detector.update_entry(O1, waiting=frozenset({2}), blocking=frozenset({3}))
+        detector.update_entry(O2, waiting=frozenset({3}), blocking=frozenset({1}))
+        cycle = detector.find_cycle(2)
+        assert set(cycle) == {1, 2, 3}
+
+    def test_chain_is_not_cycle(self):
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({2}))
+        detector.update_entry(O1, waiting=frozenset({2}), blocking=frozenset({3}))
+        assert detector.find_cycle(1) is None
+
+    def test_self_edges_ignored(self):
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({1, 2}))
+        assert detector.find_cycle(1) is None
+
+    def test_entry_update_replaces_edges(self):
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({2}))
+        detector.update_entry(O1, waiting=frozenset({2}), blocking=frozenset({1}))
+        # Family 2 got the lock on O1: edge disappears, cycle broken.
+        detector.update_entry(O1, waiting=frozenset(), blocking=frozenset({2}))
+        assert detector.find_cycle(1) is None
+
+    def test_clear_entry(self):
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({2}))
+        detector.clear_entry(O0)
+        assert detector.edges() == {}
+
+    def test_victim_is_youngest(self):
+        detector = DeadlockDetector()
+        assert detector.pick_victim([5, 9, 2]) == 9
+
+    def test_waiting_families_view(self):
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1, 3}),
+                              blocking=frozenset({2}))
+        assert detector.waiting_families() == frozenset({1, 3})
+
+    def test_multi_waiter_multi_blocker_edges(self):
+        detector = DeadlockDetector()
+        detector.update_entry(
+            O0, waiting=frozenset({1, 2}), blocking=frozenset({3, 4})
+        )
+        edges = detector.edges()
+        assert edges[1] == {3, 4}
+        assert edges[2] == {3, 4}
+
+
+class TestDirectory:
+    def test_requires_nodes(self):
+        with pytest.raises(Exception):
+            Directory([])
+
+    def test_round_robin_partitioning(self):
+        directory = Directory([N0, N1, N2])
+        assert directory.home_node(O0) == N0
+        assert directory.home_node(O1) == N1
+        assert directory.home_node(ObjectId(5)) == N2
+
+    def test_register_and_lookup(self):
+        directory = Directory([N0, N1])
+        entry = directory.register(O0, page_count=4, creator_node=N1)
+        assert directory.entry(O0) is entry
+        assert entry.home_node == N0
+        assert entry.page_count == 4
+        assert O0 in directory
+        assert len(directory) == 1
+
+    def test_double_register_rejected(self):
+        directory = Directory([N0])
+        directory.register(O0, page_count=1, creator_node=N0)
+        with pytest.raises(ProtocolError):
+            directory.register(O0, page_count=1, creator_node=N0)
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(ProtocolError):
+            Directory([N0]).entry(O0)
+
+
+class TestEntryCacheTracker:
+    def test_miss_then_hit(self):
+        tracker = EntryCacheTracker()
+        assert not tracker.is_local(O0, N0)
+        tracker.on_granted(O0, N0)
+        assert tracker.is_local(O0, N0)
+        assert tracker.stats.hits == 1
+        assert tracker.stats.misses == 1
+
+    def test_other_site_misses(self):
+        tracker = EntryCacheTracker()
+        tracker.on_granted(O0, N0)
+        assert not tracker.is_local(O0, N1)
+
+    def test_regrant_moves_cache_site(self):
+        tracker = EntryCacheTracker()
+        tracker.on_granted(O0, N0)
+        tracker.on_granted(O0, N1)
+        assert tracker.cache_site(O0) == N1
+        assert tracker.stats.invalidations == 1
+
+    def test_freed_clears_cache(self):
+        tracker = EntryCacheTracker()
+        tracker.on_granted(O0, N0)
+        tracker.on_freed(O0)
+        assert tracker.cache_site(O0) is None
+        assert not tracker.is_local(O0, N0)
+
+    def test_disabled_tracker_never_hits(self):
+        tracker = EntryCacheTracker(enabled=False)
+        tracker.on_granted(O0, N0)
+        assert not tracker.is_local(O0, N0)
+        assert tracker.stats.hit_rate == 0.0
+
+    def test_hit_rate(self):
+        tracker = EntryCacheTracker()
+        tracker.on_granted(O0, N0)
+        tracker.is_local(O0, N0)
+        tracker.is_local(O0, N1)
+        assert tracker.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_zero_safe(self):
+        assert EntryCacheTracker().stats.hit_rate == 0.0

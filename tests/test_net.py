@@ -1,0 +1,271 @@
+"""Unit tests for the network substrate: messages, sizes, delivery,
+accounting, and the paper's presets."""
+
+import pytest
+
+from repro.net import (
+    ETHERNET_10M,
+    FAST_ETHERNET_100M,
+    GIGABIT_1G,
+    Message,
+    MessageCategory,
+    Network,
+    NetworkConfig,
+    NetworkStats,
+    SOFTWARE_COSTS,
+    SizeModel,
+    preset_network,
+)
+from repro.sim import Environment
+from repro.util.errors import ConfigurationError
+from repro.util.ids import NodeId, ObjectId
+
+
+N0, N1, N2 = NodeId(0), NodeId(1), NodeId(2)
+
+
+def msg(src=N0, dst=N1, category=MessageCategory.PAGE_DATA, size=1000,
+        object_id=None):
+    return Message(src=src, dst=dst, category=category, size_bytes=size,
+                   object_id=object_id)
+
+
+class TestMessage:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            msg(size=-1)
+
+    def test_local_detection(self):
+        assert msg(src=N0, dst=N0).is_local
+        assert not msg(src=N0, dst=N1).is_local
+
+    def test_data_categories(self):
+        assert MessageCategory.PAGE_DATA.is_consistency_data
+        assert MessageCategory.UPDATE_PUSH.is_consistency_data
+        assert not MessageCategory.LOCK_REQUEST.is_consistency_data
+        assert not MessageCategory.PAGE_MAP.is_consistency_data
+
+
+class TestSizeModel:
+    def test_defaults_positive(self):
+        sizes = SizeModel()
+        assert sizes.lock_request() > 0
+        assert sizes.control() > 0
+
+    def test_grant_scales_with_entries(self):
+        sizes = SizeModel()
+        small = sizes.lock_grant(holder_entries=1, page_map_entries=1)
+        big = sizes.lock_grant(holder_entries=10, page_map_entries=20)
+        assert big > small
+        assert big == sizes.header_bytes + 10 * sizes.holder_entry_bytes \
+            + 20 * sizes.page_map_entry_bytes
+
+    def test_page_data_dominated_by_pages(self):
+        sizes = SizeModel(page_bytes=4096)
+        assert sizes.page_data(3) == sizes.header_bytes + 3 * 4096
+
+    def test_release_piggybacks_dirty_entries(self):
+        sizes = SizeModel()
+        assert sizes.lock_release(5) - sizes.lock_release(0) == \
+            5 * sizes.page_map_entry_bytes
+
+    def test_object_data_uses_raw_bytes(self):
+        sizes = SizeModel()
+        assert sizes.object_data(100) == sizes.header_bytes + 100
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            SizeModel(header_bytes=-1)
+
+
+class TestNetworkConfig:
+    def test_transfer_time_components(self):
+        config = NetworkConfig(bandwidth_bps=1e6, software_cost_s=1e-3,
+                               propagation_s=1e-6)
+        # 1000 bytes at 1 Mbps = 8 ms serialization.
+        assert config.transfer_time(1000) == pytest.approx(1e-3 + 8e-3 + 1e-6)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(bandwidth_bps=0, software_cost_s=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(bandwidth_bps=1e6, software_cost_s=-1)
+
+    def test_with_software_cost(self):
+        faster = ETHERNET_10M.with_software_cost(1e-6)
+        assert faster.software_cost_s == 1e-6
+        assert faster.bandwidth_bps == ETHERNET_10M.bandwidth_bps
+
+    def test_presets_match_paper_bitrates(self):
+        assert ETHERNET_10M.bandwidth_bps == 10e6
+        assert FAST_ETHERNET_100M.bandwidth_bps == 100e6
+        assert GIGABIT_1G.bandwidth_bps == 1e9
+
+    def test_software_cost_sweep_values(self):
+        assert SOFTWARE_COSTS == {
+            "100us": 100e-6, "20us": 20e-6, "5us": 5e-6,
+            "1us": 1e-6, "500ns": 500e-9,
+        }
+
+    def test_preset_network_lookup(self):
+        config = preset_network("1Gbps", "500ns")
+        assert config.bandwidth_bps == 1e9
+        assert config.software_cost_s == 500e-9
+
+    def test_preset_network_unknown(self):
+        with pytest.raises(KeyError):
+            preset_network("2Mbps")
+        with pytest.raises(KeyError):
+            preset_network("1Gbps", "7us")
+
+
+class TestNetworkDelivery:
+    def setup_method(self):
+        self.env = Environment()
+        self.net = Network(
+            self.env,
+            NetworkConfig(bandwidth_bps=8e6, software_cost_s=1e-3,
+                          propagation_s=0.0),
+        )
+
+    def test_delivery_takes_transfer_time(self):
+        message = msg(size=1000)  # 1 ms serialization at 8 Mbps
+        done = self.net.send(message)
+        self.env.run()
+        assert done.value is message
+        assert message.deliver_time == pytest.approx(2e-3)
+
+    def test_local_message_is_free_and_instant(self):
+        message = msg(src=N0, dst=N0)
+        done = self.net.send(message)
+        assert done.triggered
+        assert self.net.stats.total_messages == 0
+
+    def test_stats_recorded_on_send(self):
+        self.net.send(msg(size=500))
+        assert self.net.stats.total_messages == 1
+        assert self.net.stats.total_bytes == 500
+
+    def test_charge_returns_time_without_event(self):
+        before = self.env.peek()
+        elapsed = self.net.charge(msg(size=1000))
+        assert elapsed == pytest.approx(2e-3)
+        assert self.env.peek() == before  # nothing scheduled
+        assert self.net.stats.total_messages == 1
+
+    def test_charge_local_is_free(self):
+        assert self.net.charge(msg(src=N1, dst=N1)) == 0.0
+        assert self.net.stats.total_messages == 0
+
+
+class TestMulticast:
+    def setup_method(self):
+        self.env = Environment()
+
+    def _net(self, multicast):
+        return Network(
+            self.env,
+            NetworkConfig(bandwidth_bps=8e6, software_cost_s=1e-3,
+                          propagation_s=0.0, multicast=multicast),
+        )
+
+    def template(self):
+        return msg(src=N0, dst=N1, size=1000)
+
+    def test_unicast_group_charges_per_destination(self):
+        net = self._net(multicast=False)
+        delay = net.charge_group(self.template(), [N1, N2])
+        assert net.stats.total_messages == 2
+        assert delay == pytest.approx(2 * (1e-3 + 1e-3))
+
+    def test_multicast_group_charges_once(self):
+        net = self._net(multicast=True)
+        delay = net.charge_group(self.template(), [N1, N2])
+        assert net.stats.total_messages == 1
+        assert delay == pytest.approx(1e-3 + 1e-3)
+
+    def test_group_skips_sender(self):
+        net = self._net(multicast=False)
+        assert net.charge_group(self.template(), [N0]) == 0.0
+        assert net.stats.total_messages == 0
+
+    def test_with_multicast_copy(self):
+        config = NetworkConfig(bandwidth_bps=1e6, software_cost_s=0)
+        assert not config.multicast
+        enabled = config.with_multicast(True)
+        assert enabled.multicast
+        assert enabled.with_software_cost(1e-6).multicast
+
+
+class TestNetworkStats:
+    def test_per_category_accounting(self):
+        stats = NetworkStats()
+        stats.record(msg(category=MessageCategory.LOCK_REQUEST, size=50), 0.1)
+        stats.record(msg(category=MessageCategory.PAGE_DATA, size=4000), 0.2)
+        assert stats.category_bytes(MessageCategory.LOCK_REQUEST) == 50
+        assert stats.category_messages(MessageCategory.PAGE_DATA) == 1
+        assert stats.consistency_bytes() == 4000
+        assert stats.total_time == pytest.approx(0.3)
+
+    def test_per_object_accounting(self):
+        stats = NetworkStats()
+        oid = ObjectId(7)
+        stats.record(msg(category=MessageCategory.PAGE_DATA, size=4000,
+                         object_id=oid), 0.5)
+        stats.record(msg(category=MessageCategory.LOCK_GRANT, size=60,
+                         object_id=oid), 0.1)
+        stats.record(msg(category=MessageCategory.PAGE_DATA, size=100), 0.1)
+        assert stats.object_bytes(oid) == 4060
+        assert stats.object_messages(oid) == 2
+        assert stats.object_time(oid) == pytest.approx(0.6)
+        traffic = stats.by_object[oid]
+        assert traffic.data_bytes == 4000  # grant excluded from data bytes
+        assert traffic.data_messages == 1
+
+    def test_unknown_object_zeroes(self):
+        stats = NetworkStats()
+        assert stats.object_bytes(ObjectId(99)) == 0
+        assert stats.object_time(ObjectId(99)) == 0.0
+        assert stats.object_messages(ObjectId(99)) == 0
+
+    def test_snapshot_is_plain_data(self):
+        stats = NetworkStats()
+        stats.record(msg(), 0.1)
+        snap = stats.snapshot()
+        assert snap["total_messages"] == 1
+        assert snap["by_category_bytes"] == {"page_data": 1000}
+
+
+class TestNodeTraffic:
+    def test_per_node_send_receive(self):
+        stats = NetworkStats()
+        stats.record(msg(src=N0, dst=N1, size=100), 0.1)
+        stats.record(msg(src=N0, dst=N2, size=200), 0.1)
+        stats.record(msg(src=N2, dst=N0, size=50), 0.1)
+        n0 = stats.by_node[N0]
+        assert n0.sent_bytes == 300 and n0.sent_messages == 2
+        assert n0.received_bytes == 50 and n0.received_messages == 1
+        assert stats.by_node[N1].received_bytes == 100
+        assert stats.by_node[N2].sent_bytes == 50
+
+    def test_imbalance_even(self):
+        stats = NetworkStats()
+        stats.record(msg(src=N0, dst=N1, size=100), 0.1)
+        stats.record(msg(src=N1, dst=N0, size=100), 0.1)
+        assert stats.node_imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_skewed(self):
+        stats = NetworkStats()
+        stats.record(msg(src=N0, dst=N1, size=300), 0.1)
+        stats.record(msg(src=N0, dst=N2, size=300), 0.1)
+        assert stats.node_imbalance() > 1.0
+
+    def test_imbalance_empty_is_one(self):
+        assert NetworkStats().node_imbalance() == 1.0
+
+    def test_snapshot_includes_imbalance(self):
+        stats = NetworkStats()
+        stats.record(msg(), 0.1)
+        assert "node_imbalance" in stats.snapshot()

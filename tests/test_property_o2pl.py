@@ -1,0 +1,221 @@
+"""Property-based state machine over the O2PL directory entry.
+
+Hypothesis drives random sequences of family growth, acquisition,
+pre-commit, abort, and root release against one DirectoryEntry and
+checks the §4.1 structural invariants after every step:
+
+* multiple readers / single writer (a write holder is the sole holder),
+* ReadCount equals the number of read holders,
+* a grant is only ever handed out when rule 1 allows it,
+* waiters are never simultaneously holders,
+* released families leave no residue.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.gdo.entry import DirectoryEntry, GrantDecision, LockMode, Waiter
+from repro.util.ids import NodeId, ObjectId, TxnId
+
+
+class _StubTxn:
+    def __init__(self, serial, root, parent, node):
+        self.id = TxnId(serial=serial, root=root)
+        self.parent = parent
+        self.node = node
+        self.finished = False
+
+    def is_ancestor_of(self, other):
+        probe = other.parent
+        while probe is not None:
+            if probe is self:
+                return True
+            probe = probe.parent
+        return False
+
+    def __repr__(self):
+        return f"Stub{self.id!r}"
+
+
+class _FakeWake:
+    def __init__(self):
+        self.fired = False
+
+    def succeed(self, value=None):
+        self.fired = True
+
+    def fail(self, exc):
+        self.fired = True
+
+    @property
+    def triggered(self):
+        return self.fired
+
+
+class O2PLMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.entry = DirectoryEntry(
+            ObjectId(0), home_node=NodeId(0), page_count=2,
+            creator_node=NodeId(0),
+        )
+        self.serial = 0
+        self.txns = []
+
+    def _next_serial(self):
+        self.serial += 1
+        return self.serial
+
+    def _live(self):
+        return [t for t in self.txns if not t.finished]
+
+    # -- rules -----------------------------------------------------------
+
+    @rule(node=st.integers(0, 2))
+    def new_root(self, node):
+        serial = self._next_serial()
+        self.txns.append(_StubTxn(serial, serial, None, NodeId(node)))
+
+    @precondition(lambda self: self._live())
+    @rule(data=st.data())
+    def new_child(self, data):
+        parent = data.draw(st.sampled_from(self._live()))
+        serial = self._next_serial()
+        self.txns.append(
+            _StubTxn(serial, parent.id.root, parent, parent.node)
+        )
+
+    @precondition(lambda self: self._live())
+    @rule(data=st.data(), mode=st.sampled_from([LockMode.READ, LockMode.WRITE]))
+    def try_acquire(self, data, mode):
+        txn = data.draw(st.sampled_from(self._live()))
+        if self.entry.remove_waiter(txn.id):
+            # keep the model simple: a txn has one outstanding request
+            pass
+        decision = self.entry.decide(txn, mode)
+        if decision is GrantDecision.GRANTED:
+            self.entry.grant(txn, mode)
+        elif decision is GrantDecision.WAIT_LOCAL:
+            self.entry.enqueue_local(Waiter(txn, mode, _FakeWake()))
+        elif decision is GrantDecision.WAIT_GLOBAL:
+            self.entry.enqueue_global(Waiter(txn, mode, _FakeWake()))
+        # RECURSIVE: request refused, nothing recorded.
+
+    @precondition(lambda self: any(
+        t for t in self._live()
+        if t.parent is not None and not any(
+            c for c in self._live() if c.parent is t
+        )
+    ))
+    @rule(data=st.data())
+    def precommit_leaf(self, data):
+        candidates = [
+            t for t in self._live()
+            if t.parent is not None and not any(
+                c for c in self._live() if c.parent is t
+            )
+        ]
+        txn = data.draw(st.sampled_from(candidates))
+        self.entry.remove_waiter(txn.id)
+        held = txn.id in self.entry.holders
+        retained = txn.id in self.entry.retainers
+        if held or retained:
+            self.entry.release_to_parent(txn, txn.parent)
+        txn.finished = True
+        for waiter in self.entry.pump():
+            pass
+
+    @precondition(lambda self: self._live())
+    @rule(data=st.data())
+    def abort_txn(self, data):
+        txn = data.draw(st.sampled_from(self._live()))
+        # Abort the whole subtree below txn (children first).
+        subtree = [t for t in self._live()
+                   if t is txn or txn.is_ancestor_of(t)]
+        for victim in sorted(subtree, key=lambda t: -t.id.serial):
+            self.entry.remove_waiter(victim.id)
+            self.entry.release_on_abort(victim)
+            victim.finished = True
+        self.entry.pump()
+
+    @precondition(lambda self: any(t.parent is None for t in self._live()))
+    @rule(data=st.data())
+    def commit_root(self, data):
+        roots = [t for t in self._live() if t.parent is None]
+        root = data.draw(st.sampled_from(roots))
+        family = [t for t in self._live() if t.id.root == root.id.serial]
+        # Only commit when the whole family is just the root (children
+        # must pre-commit or abort first); otherwise force-finish them.
+        for txn in sorted(family, key=lambda t: -t.id.serial):
+            if txn is not root:
+                self.entry.remove_waiter(txn.id)
+                if txn.id in self.entry.holders or txn.id in self.entry.retainers:
+                    self.entry.release_to_parent(txn, txn.parent)
+                txn.finished = True
+        self.entry.remove_waiter(root.id)
+        self.entry.release_family(root.id.serial)
+        root.finished = True
+        self.entry.pump()
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def single_writer(self):
+        writers = [
+            txn_id for txn_id, mode in self.entry.holders.items()
+            if mode is LockMode.WRITE
+        ]
+        if writers:
+            assert len(self.entry.holders) == 1, (
+                f"writer {writers} shares with {list(self.entry.holders)}"
+            )
+
+    @invariant()
+    def read_count_consistent(self):
+        expected = sum(
+            1 for mode in self.entry.holders.values()
+            if mode is LockMode.READ
+        )
+        assert self.entry.read_count == expected
+
+    @invariant()
+    def waiters_not_already_satisfied(self):
+        # A transaction may wait for an upgrade (holding R, wanting W),
+        # but never for a mode its current hold already covers.
+        all_waiters = [w for q in self.entry.waiting_families
+                       for w in q.waiters]
+        all_waiters.extend(self.entry.local_waiters)
+        for waiter in all_waiters:
+            held = self.entry.holders.get(waiter.txn_id)
+            if held is None:
+                continue
+            assert held is LockMode.READ and waiter.mode is LockMode.WRITE, (
+                f"{waiter.txn_id} waits for {waiter.mode} while holding {held}"
+            )
+
+    @invariant()
+    def finished_txns_left_no_residue(self):
+        finished = {t.id for t in self.txns if t.finished}
+        assert not (finished & set(self.entry.holders))
+        assert not (finished & set(self.entry.retainers))
+
+    @invariant()
+    def retainers_imply_rule1_blocks_strangers(self):
+        # If any retainer exists, a brand-new family's request must not
+        # be grantable (its retainers cannot be ancestors of a stranger).
+        if self.entry.retainers:
+            probe = _StubTxn(10**6, 10**6, None, NodeId(0))
+            decision = self.entry.decide(probe, LockMode.WRITE)
+            assert decision is not GrantDecision.GRANTED
+
+
+O2PLMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestO2PL = O2PLMachine.TestCase

@@ -1,0 +1,82 @@
+"""Property-based end-to-end correctness: any random workload, any
+protocol, must be serializable and conservative.
+
+These are the reproduction's strongest tests: hypothesis explores the
+workload parameter space (object counts, sizes, skew, nesting) and for
+every sample we check the §4.3 correctness obligations — final state
+equivalent to a serial execution in commit order, and conservative
+access prediction.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import check_serializability
+from repro.runtime import Cluster, ClusterConfig
+from repro.workload import WorkloadParams, generate_workload, run_workload
+
+
+@st.composite
+def workload_params(draw):
+    pages_min = draw(st.integers(1, 4))
+    return WorkloadParams(
+        num_objects=draw(st.integers(2, 10)),
+        num_classes=draw(st.integers(1, 3)),
+        pages_min=pages_min,
+        pages_max=pages_min + draw(st.integers(0, 4)),
+        num_roots=draw(st.integers(1, 14)),
+        max_depth=draw(st.integers(0, 3)),
+        mean_branch=draw(st.floats(0.0, 3.0)),
+        update_fraction=draw(st.floats(0.0, 1.0)),
+        access_fraction=(0.2, draw(st.floats(0.4, 1.0))),
+        write_fraction=draw(st.floats(0.1, 1.0)),
+        skew=draw(st.floats(0.0, 1.5)),
+        mean_interarrival_s=draw(st.sampled_from([0.0, 0.0002, 0.002])),
+    )
+
+
+COMMON_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.mark.parametrize("protocol", ["cotec", "otec", "lotec", "rc"])
+class TestRandomWorkloads:
+    @given(params=workload_params(), seed=st.integers(0, 10_000))
+    @settings(**COMMON_SETTINGS)
+    def test_serializable_and_complete(self, protocol, params, seed):
+        workload = generate_workload(params, seed=seed)
+        cluster = Cluster(
+            ClusterConfig(num_nodes=3, protocol=protocol, seed=seed)
+        )
+        run = run_workload(cluster, workload)
+        # Retries may fail only if the budget runs out; tolerate but
+        # require most work to commit.
+        assert run.committed + run.failed == params.num_roots
+        report = check_serializability(cluster)
+        assert report.equivalent, (
+            f"{protocol}: {report.state_mismatches[:3]} "
+            f"{report.result_mismatches[:3]}"
+        )
+
+
+class TestPredictionConservatism:
+    @given(params=workload_params(), seed=st.integers(0, 10_000))
+    @settings(**COMMON_SETTINGS)
+    def test_writes_always_covered(self, params, seed):
+        """The predicted write set must cover every actual write (the
+        §4.1 conservatism requirement; reads may demand-fetch, writes
+        must never be missed)."""
+        workload = generate_workload(params, seed=seed)
+        cluster = Cluster(
+            ClusterConfig(num_nodes=3, protocol="lotec", seed=seed,
+                          audit_accesses=True)
+        )
+        run_workload(cluster, workload)
+        assert cluster.audit, "audit must record invocations"
+        for record in cluster.audit:
+            assert record.writes_conservative, record
+            assert record.conservative, record
+        assert cluster.prediction_stats.write_misses == 0

@@ -1,0 +1,78 @@
+"""Integration tests for Algorithm 4.5: gathering an object whose
+up-to-date pages are scattered across several nodes (the situation
+LOTEC's partial transfers create)."""
+
+from repro.net.message import MessageCategory
+
+from conftest import Ledger, make_cluster
+
+
+class TestScatteredGather:
+    def scatter(self, cluster):
+        """Leave alpha's page at node 1 and the log tail at node 2.
+
+        (alpha and the head of beta share page 0; the log array's last
+        elements live on pages no scalar touches, so the two updates
+        land on disjoint pages owned by different nodes.)"""
+        ledger = cluster.create(Ledger, node=cluster.nodes[0])
+        cluster.call(ledger, "bump_alpha", 10, node=cluster.nodes[1])
+        cluster.call(ledger, "log_entry", 15, 20, node=cluster.nodes[2])
+        return ledger
+
+    def test_pages_scatter_under_lotec(self):
+        cluster = make_cluster(protocol="lotec", seed=3)
+        ledger = self.scatter(cluster)
+        entry = cluster.directory.entry(ledger.object_id)
+        alpha_page = next(iter(ledger.meta.layout.attribute_pages("alpha")))
+        tail_page = max(ledger.meta.layout.slot_pages("log", 15))
+        assert entry.page_owner(alpha_page) == cluster.nodes[1]
+        assert entry.page_owner(tail_page) == cluster.nodes[2]
+
+    def test_gather_pulls_from_multiple_sources(self):
+        cluster = make_cluster(protocol="lotec", seed=3)
+        ledger = self.scatter(cluster)
+        before = {
+            node: cluster.network_stats.by_category_messages.get(
+                MessageCategory.PAGE_REQUEST, 0
+            )
+            for node in [None]
+        }[None]
+        total = cluster.call(ledger, "sum_all", node=cluster.nodes[3])
+        assert total == 30
+        after = cluster.network_stats.by_category_messages.get(
+            MessageCategory.PAGE_REQUEST, 0
+        )
+        # sum_all needs alpha (node 1), beta (node 2), and the
+        # gamma/log pages (node 0): at least three source round trips.
+        assert after - before >= 3
+
+    def test_under_otec_pages_do_not_scatter(self):
+        cluster = make_cluster(protocol="otec", seed=3)
+        ledger = self.scatter(cluster)
+        entry = cluster.directory.entry(ledger.object_id)
+        # OTEC fully refreshes the acquiring site, so the last committer
+        # owns every page.
+        owners = {
+            entry.page_owner(page)
+            for page in range(ledger.meta.layout.page_count)
+        }
+        assert owners == {cluster.nodes[2]}
+
+    def test_scattered_state_still_reads_correctly_everywhere(self):
+        cluster = make_cluster(protocol="lotec", seed=3)
+        ledger = self.scatter(cluster)
+        for node in cluster.nodes:
+            assert cluster.call(ledger, "sum_all", node=node) == 30
+
+    def test_cotec_single_source_after_first_commit(self):
+        cluster = make_cluster(protocol="cotec", seed=3)
+        ledger = self.scatter(cluster)
+        before = cluster.network_stats.category_messages(
+            MessageCategory.PAGE_REQUEST
+        )
+        cluster.call(ledger, "sum_all", node=cluster.nodes[3])
+        after = cluster.network_stats.category_messages(
+            MessageCategory.PAGE_REQUEST
+        )
+        # Everything lives at the last committer: one source round trip.
+        assert after - before == 1

@@ -1,0 +1,177 @@
+"""Unit tests for the simulation environment and process model."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEnvironment:
+    def test_clock_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_initial_time_configurable(self):
+        assert Environment(initial_time=10.0).now == 10.0
+
+    def test_run_returns_final_time(self, env):
+        env.timeout(3.0)
+        assert env.run() == 3.0
+
+    def test_run_until_stops_early(self, env):
+        late = env.timeout(10.0)
+        assert env.run(until=4.0) == 4.0
+        assert not late.processed
+
+    def test_run_until_advances_past_last_event(self, env):
+        env.timeout(1.0)
+        assert env.run(until=9.0) == 9.0
+
+    def test_run_until_in_past_rejected(self, env):
+        env.timeout(5.0)
+        env.run()
+        with pytest.raises(ConfigurationError):
+            env.run(until=1.0)
+
+    def test_resumable(self, env):
+        first, second = env.timeout(1.0), env.timeout(5.0)
+        env.run(until=2.0)
+        assert first.processed and not second.processed
+        env.run()
+        assert second.processed
+
+    def test_peek_empty(self, env):
+        assert env.peek() == float("inf")
+
+    def test_same_time_events_fifo(self, env):
+        order = []
+        for tag in "abc":
+            env.timeout(1.0).add_callback(lambda e, t=tag: order.append(t))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_deterministic_interleaving(self):
+        def trace(seed_env):
+            log = []
+
+            def proc(tag, delay):
+                yield seed_env.timeout(delay)
+                log.append((tag, seed_env.now))
+                yield seed_env.timeout(delay)
+                log.append((tag, seed_env.now))
+
+            seed_env.process(proc("x", 1.0))
+            seed_env.process(proc("y", 1.5))
+            seed_env.run()
+            return log
+
+        assert trace(Environment()) == trace(Environment())
+
+
+class TestProcess:
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_returns_value(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            return 99
+
+        assert env.run_process(proc()) == 99
+
+    def test_receives_event_values(self, env):
+        def proc():
+            got = yield env.timeout(1.0, value="tick")
+            return got
+
+        assert env.run_process(proc()) == "tick"
+
+    def test_exception_propagates(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            raise ValueError("inside process")
+
+        with pytest.raises(ValueError, match="inside process"):
+            env.run_process(proc())
+
+    def test_failed_event_thrown_into_process(self, env):
+        trigger = env.event()
+
+        def failer():
+            yield env.timeout(1.0)
+            trigger.fail(RuntimeError("lock denied"))
+
+        def waiter():
+            try:
+                yield trigger
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        env.process(failer())
+        result_proc = env.process(waiter())
+        env.run()
+        assert result_proc.value == "caught lock denied"
+
+    def test_process_joining(self, env):
+        def child():
+            yield env.timeout(2.0)
+            return "child-done"
+
+        def parent():
+            result = yield env.process(child())
+            return f"saw {result}"
+
+        assert env.run_process(parent()) == "saw child-done"
+
+    def test_yield_from_composition(self, env):
+        def inner():
+            yield env.timeout(1.0)
+            return 5
+
+        def outer():
+            value = yield from inner()
+            yield env.timeout(1.0)
+            return value * 2
+
+        assert env.run_process(outer()) == 10
+        assert env.now == 2.0
+
+    def test_yielding_non_event_raises(self, env):
+        def proc():
+            yield 42
+
+        with pytest.raises(TypeError, match="may only yield"):
+            env.run_process(proc())
+
+    def test_stuck_process_reported(self, env):
+        def proc():
+            yield env.event()  # nobody will ever trigger this
+
+        with pytest.raises(ConfigurationError, match="did not finish"):
+            env.run_process(proc())
+
+    def test_two_processes_share_clock(self, env):
+        times = {}
+
+        def proc(tag, delay):
+            yield env.timeout(delay)
+            times[tag] = env.now
+
+        env.process(proc("fast", 1.0))
+        env.process(proc("slow", 3.0))
+        env.run()
+        assert times == {"fast": 1.0, "slow": 3.0}
+
+    def test_is_alive(self, env):
+        def proc():
+            yield env.timeout(1.0)
+
+        process = env.process(proc())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
