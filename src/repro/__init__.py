@@ -27,6 +27,7 @@ Quick start::
 """
 
 from repro.net.network import NetworkConfig
+from repro.obs import MetricsRegistry, NullTracer, TraceEvent, Tracer
 from repro.net.presets import (
     ETHERNET_10M,
     FAST_ETHERNET_100M,
@@ -51,7 +52,15 @@ from repro.util.errors import (
     TransactionAborted,
 )
 
-__version__ = "1.0.0"
+# Single source of truth is the installed package metadata
+# (pyproject.toml); the literal fallback covers running straight from
+# a source tree that was never pip-installed.
+try:  # pragma: no cover - which branch runs depends on the install mode
+    from importlib.metadata import PackageNotFoundError, version as _version
+
+    __version__ = _version("repro")
+except PackageNotFoundError:  # pragma: no cover
+    __version__ = "1.0.0"
 
 __all__ = [
     "Array",
@@ -63,11 +72,15 @@ __all__ = [
     "ETHERNET_10M",
     "FAST_ETHERNET_100M",
     "GIGABIT_1G",
+    "MetricsRegistry",
     "NetworkConfig",
+    "NullTracer",
     "ProtocolError",
     "RecursiveInvocationError",
     "ReproError",
     "SOFTWARE_COSTS",
+    "TraceEvent",
+    "Tracer",
     "TransactionAborted",
     "TxnTicket",
     "check_serializability",

@@ -8,13 +8,19 @@ Commands:
   result for downstream plotting.
 * ``compare`` — run one workload scenario under all four protocols and
   print the side-by-side summary.
+* ``trace`` — run one scenario with the :mod:`repro.obs` tracer on and
+  write the trace artifacts (JSONL event log + Chrome ``trace_event``
+  JSON loadable in Perfetto / ``chrome://tracing``) plus a metrics
+  summary.
 * ``list`` — show available experiment ids and scenarios.
+* ``version`` (or ``--version``) — print the package version.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
@@ -35,6 +41,7 @@ from repro.bench import (
     run_recovery_ablation,
     run_time_figure,
 )
+from repro.obs import render_summary, write_chrome_trace, write_jsonl
 from repro.runtime.cluster import Cluster
 from repro.runtime.config import ClusterConfig
 from repro.workload.generator import generate_workload
@@ -63,10 +70,20 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="LOTEC reproduction experiment harness",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -90,7 +107,20 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("--scale", type=float, default=0.5)
     cmp_parser.add_argument("--nodes", type=int, default=4)
 
+    trace = sub.add_parser(
+        "trace", help="run a scenario with tracing on; write artifacts"
+    )
+    trace.add_argument("scenario", choices=sorted(SCENARIOS))
+    trace.add_argument("--seed", type=int, default=11)
+    trace.add_argument("--scale", type=float, default=0.5)
+    trace.add_argument("--nodes", type=int, default=4)
+    trace.add_argument("--protocol", default="lotec",
+                       choices=("cotec", "otec", "lotec", "rc"))
+    trace.add_argument("--out", default="trace-out", metavar="DIR",
+                       help="directory for trace artifacts")
+
     sub.add_parser("list", help="list experiment ids and scenarios")
+    sub.add_parser("version", help="print the package version")
     return parser
 
 
@@ -156,6 +186,39 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    try:
+        os.makedirs(args.out, exist_ok=True)
+    except (FileExistsError, NotADirectoryError):
+        print(f"error: --out {args.out!r} exists and is not a directory",
+              file=sys.stderr)
+        return 2
+    params = SCENARIOS[args.scenario].scaled(args.scale)
+    workload = generate_workload(params, seed=args.seed)
+    cluster = Cluster(ClusterConfig(
+        num_nodes=args.nodes, protocol=args.protocol, seed=args.seed,
+        audit_accesses=False, trace=True,
+    ))
+    run = run_workload(cluster, workload)
+    base = os.path.join(args.out, f"{args.scenario}-{args.protocol}")
+    jsonl_path = f"{base}.jsonl"
+    chrome_path = f"{base}.chrome.json"
+    write_jsonl(cluster.trace_events, jsonl_path)
+    write_chrome_trace(cluster.trace_events, chrome_path)
+    print(f"scenario {args.scenario} under {args.protocol} "
+          f"(seed {args.seed}, scale {args.scale}, {args.nodes} nodes): "
+          f"{run.committed} committed, {run.failed} failed\n")
+    print(render_summary(cluster.tracer))
+    print(f"\nwrote {jsonl_path}")
+    print(f"wrote {chrome_path} (load in Perfetto / chrome://tracing)")
+    return 0
+
+
+def _cmd_version(_args) -> int:
+    print(_package_version())
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("experiments:")
     for key in sorted(EXPERIMENTS):
@@ -171,7 +234,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "experiment": _cmd_experiment,
         "compare": _cmd_compare,
+        "trace": _cmd_trace,
         "list": _cmd_list,
+        "version": _cmd_version,
     }
     return handlers[args.command](args)
 

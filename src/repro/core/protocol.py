@@ -25,6 +25,7 @@ from repro.core.transfer import PAGE_GRAIN, demand_fetch, gather_pages
 from repro.net.network import Network
 from repro.net.sizes import SizeModel
 from repro.objects.registry import ObjectMeta
+from repro.obs.tracer import NULL_TRACER
 from repro.util.errors import ProtocolError
 from repro.util.ids import NodeId
 
@@ -44,12 +45,14 @@ class ConsistencyProtocol:
     name = "abstract"
 
     def __init__(self, env, network: Network, sizes: SizeModel,
-                 stores: Dict[NodeId, object], grain: str = PAGE_GRAIN):
+                 stores: Dict[NodeId, object], grain: str = PAGE_GRAIN,
+                 tracer=None):
         self.env = env
         self.network = network
         self.sizes = sizes
         self.stores = stores
         self.grain = grain
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.prediction_stats = PredictionStats()
 
     # -- policy hook --------------------------------------------------------
@@ -84,8 +87,13 @@ class ConsistencyProtocol:
         shipped = yield from gather_pages(
             self.env, self.network, self.sizes, self.stores,
             node, meta, page_map, wanted, grain=self.grain,
+            cause="acquire",
         )
         self.prediction_stats.transferred_pages += len(shipped)
+        self.tracer.prediction(
+            node, meta.object_id, sorted(prediction.pages), sorted(wanted),
+            sorted(shipped),
+        )
         return TransferOutcome(wanted=frozenset(wanted),
                                shipped=frozenset(shipped))
 
@@ -133,6 +141,7 @@ class _DemandFetchMixin:
         delay, shipped = demand_fetch(
             self.network, self.sizes, self.stores,
             txn.node, meta, page_map, pages, grain=self.grain,
+            is_write=is_write,
         )
         self.prediction_stats.demand_fetches += len(shipped)
         if is_write:

@@ -70,5 +70,11 @@ class ReleaseConsistency(ConsistencyProtocol):
                 size_bytes=size, object_id=object_id,
             )
             self.network.charge_group(template, replicas)
+            pushed_bytes = size * (
+                1 if self.network.config.multicast else len(replicas)
+            )
+            self.tracer.update_push(
+                node, object_id, sorted(pages), pushed_bytes, replicas
+            )
             for target in replicas:
                 self.stores[target].install_pages(object_id, copies)

@@ -52,20 +52,26 @@ def _plan_sources(page_map, pages: Iterable[int]) -> Dict[NodeId, List[int]]:
 
 def gather_pages(env, network: Network, sizes: SizeModel, stores,
                  node: NodeId, meta: ObjectMeta, page_map,
-                 pages: Iterable[int], grain: str = PAGE_GRAIN):
+                 pages: Iterable[int], grain: str = PAGE_GRAIN,
+                 cause: str = "acquire"):
     """Simulation process: gather ``pages`` to ``node``; returns the
     list of pages actually shipped over the network.
 
     ``stores`` maps NodeId -> NodeStore.  Pages whose owner is the
     acquiring node itself need no shipment.  All source round trips run
     concurrently; installation happens when the last response lands.
+    ``cause`` labels the gather in traces and byte-by-cause metrics.
     """
     by_owner = _plan_sources(page_map, pages)
     by_owner.pop(node, None)
     if not by_owner:
         return []
+    token = network.tracer.transfer_begin(
+        node, meta.object_id, cause, sorted(set(pages))
+    )
     deliveries = []
     shipped: List[int] = []
+    data_bytes = 0
     for owner, owner_pages in sorted(by_owner.items()):
         request = Message(
             src=node, dst=owner,
@@ -80,6 +86,7 @@ def gather_pages(env, network: Network, sizes: SizeModel, stores,
             object_id=meta.object_id,
         )
         shipped.extend(owner_pages)
+        data_bytes += response.size_bytes
 
         def chain(event, resp=response):
             network.send(resp)
@@ -94,6 +101,7 @@ def gather_pages(env, network: Network, sizes: SizeModel, stores,
     for owner, owner_pages in sorted(by_owner.items()):
         copies = stores[owner].extract_pages(meta.object_id, owner_pages)
         stores[node].install_pages(meta.object_id, copies)
+    network.tracer.transfer_end(token, cause, shipped, data_bytes)
     return shipped
 
 
@@ -113,18 +121,20 @@ def _round_trip_event(env, network: Network, request: Message,
 
 def demand_fetch(network: Network, sizes: SizeModel, stores,
                  node: NodeId, meta: ObjectMeta, page_map,
-                 pages: Iterable[int], grain: str = PAGE_GRAIN) -> Tuple[float, List[int]]:
+                 pages: Iterable[int], grain: str = PAGE_GRAIN,
+                 is_write: bool = False) -> Tuple[float, List[int]]:
     """Synchronous gather used from inside running method bodies.
 
     Moves the data immediately (safe: the object's lock is held, so the
     sources are quiescent) and returns ``(deferred delay, shipped
     pages)`` — the delay is charged to the transaction at its next
-    suspension point.
+    suspension point.  ``is_write`` only annotates the trace event.
     """
     by_owner = _plan_sources(page_map, pages)
     by_owner.pop(node, None)
     delay = 0.0
     shipped: List[int] = []
+    data_bytes = 0
     for owner, owner_pages in sorted(by_owner.items()):
         request = Message(
             src=node, dst=owner,
@@ -140,7 +150,13 @@ def demand_fetch(network: Network, sizes: SizeModel, stores,
         )
         delay += network.charge(request)
         delay += network.charge(response)
+        data_bytes += response.size_bytes
         copies = stores[owner].extract_pages(meta.object_id, owner_pages)
         stores[node].install_pages(meta.object_id, copies)
         shipped.extend(owner_pages)
+    if shipped:
+        network.tracer.demand_fetch(
+            node, meta.object_id, sorted(set(pages)), shipped, data_bytes,
+            is_write, delay,
+        )
     return delay, shipped

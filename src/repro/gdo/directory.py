@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence
 
 from repro.gdo.deadlock import DeadlockDetector
 from repro.gdo.entry import DirectoryEntry
+from repro.obs.tracer import NULL_TRACER
 from repro.util.errors import ConfigurationError, ProtocolError
 from repro.util.ids import NodeId, ObjectId
 
@@ -21,12 +22,13 @@ from repro.util.ids import NodeId, ObjectId
 class Directory:
     """All GDO entries, partitioned over the cluster's nodes."""
 
-    def __init__(self, nodes: Sequence[NodeId]):
+    def __init__(self, nodes: Sequence[NodeId], tracer=None):
         if not nodes:
             raise ConfigurationError("directory needs at least one node")
         self._nodes: List[NodeId] = list(nodes)
         self._entries: Dict[ObjectId, DirectoryEntry] = {}
         self.deadlock = DeadlockDetector()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def home_node(self, object_id: ObjectId) -> NodeId:
         """Round-robin partitioning of entries over nodes."""
@@ -43,6 +45,7 @@ class Directory:
             creator_node=creator_node,
         )
         self._entries[object_id] = entry
+        self.tracer.gdo_register(object_id, entry.home_node, page_count)
         return entry
 
     def entry(self, object_id: ObjectId) -> DirectoryEntry:

@@ -156,6 +156,15 @@ class DirectoryEntry:
         )
         return tuple(pairs)
 
+    def trace_info(self) -> Dict[str, object]:
+        """Compact lock-structure snapshot for trace-event args."""
+        return {
+            "lock_state": self.lock_state.value,
+            "holders": len(self.holders),
+            "retainers": len(self.retainers),
+            "waiting_families": len(self.waiting_families),
+        }
+
     # -- acquisition decision (rules 1-2 of §4.1) ------------------------------
 
     def decide(self, txn, mode: LockMode,

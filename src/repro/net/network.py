@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.net.message import Message
 from repro.net.stats import NetworkStats
+from repro.obs.tracer import NULL_TRACER
 from repro.sim import Environment, Event
 from repro.util.errors import ConfigurationError
 
@@ -78,10 +79,11 @@ class Network:
     as in the paper's cost model.
     """
 
-    def __init__(self, env: Environment, config: NetworkConfig):
+    def __init__(self, env: Environment, config: NetworkConfig, tracer=None):
         self.env = env
         self.config = config
         self.stats = NetworkStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def send(self, message: Message) -> Event:
         """Send a message; returns an event firing at delivery time.
@@ -99,6 +101,7 @@ class Network:
         transfer_time = self.config.transfer_time(message.size_bytes)
         message.deliver_time = self.env.now + transfer_time
         self.stats.record(message, transfer_time)
+        self.tracer.message(message, transfer_time)
 
         def deliver(event, msg=message, target=done):
             target.succeed(msg)
@@ -121,6 +124,7 @@ class Network:
         transfer_time = self.config.transfer_time(message.size_bytes)
         message.deliver_time = self.env.now + transfer_time
         self.stats.record(message, transfer_time)
+        self.tracer.message(message, transfer_time)
         return transfer_time
 
     def charge_group(self, template: Message, destinations) -> float:

@@ -1,0 +1,48 @@
+"""repro.obs — observability for the simulated DSM.
+
+Virtual-clock tracing (:mod:`repro.obs.tracer`), a metrics registry
+(:mod:`repro.obs.metrics`), and exporters (:mod:`repro.obs.export`)
+that write JSONL, Chrome ``trace_event`` JSON for Perfetto, and text
+summaries.  Enable per cluster with ``ClusterConfig(trace=True)`` or
+from the command line with ``python -m repro trace <scenario>``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    events_to_jsonl,
+    read_jsonl,
+    render_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    sanitize,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "events_to_jsonl",
+    "read_jsonl",
+    "render_summary",
+    "sanitize",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,195 @@
+"""Trace and metrics exporters: JSONL, Chrome ``trace_event``, text.
+
+Three consumers, three formats:
+
+* **JSONL** — one :class:`~repro.obs.tracer.TraceEvent` per line, the
+  lossless archival form; :func:`read_jsonl` reloads it bit-for-bit so
+  analysis scripts work from files instead of live clusters.
+* **Chrome trace** — the ``trace_event`` JSON object format, loadable
+  in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``: one
+  Chrome *process* per simulated node, one *thread* per track
+  (transaction family, gather lane, network link), timestamps in
+  microseconds of virtual time.
+* **Text summary** — the end-of-run table a terminal user reads first.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import TraceEvent, Tracer
+
+#: Chrome pid reserved for cluster-wide events (no owning node).
+CLUSTER_PID = 0
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Serialize events, one JSON object per line."""
+    return "".join(
+        json.dumps(event.to_dict(), sort_keys=True) + "\n" for event in events
+    )
+
+
+def write_jsonl(events: Iterable[TraceEvent], path) -> None:
+    with open(path, "w") as handle:
+        handle.write(events_to_jsonl(events))
+
+
+def read_jsonl(path) -> List[TraceEvent]:
+    """Inverse of :func:`write_jsonl`: reload the exact event objects."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent(**json.loads(line)))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+def _seconds_to_us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """Convert events to the Chrome ``trace_event`` object format.
+
+    Nodes become Chrome processes (pid = node value + 1; pid 0 is the
+    cluster-wide lane) and tracks become threads, with ``M`` metadata
+    records naming both so Perfetto's timeline is self-describing.
+    """
+    trace_events: List[Dict[str, object]] = []
+    tids: Dict[tuple, int] = {}
+    named_pids: Dict[int, str] = {}
+
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": track or "events"},
+            })
+        return tid
+
+    def pid_for(node) -> int:
+        pid = CLUSTER_PID if node is None else node + 1
+        if pid not in named_pids:
+            named_pids[pid] = "cluster" if node is None else f"node N{node}"
+            trace_events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": named_pids[pid]},
+            })
+        return pid
+
+    for event in events:
+        pid = pid_for(event.node)
+        record: Dict[str, object] = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": event.phase,
+            "ts": _seconds_to_us(event.ts),
+            "pid": pid,
+            "tid": tid_for(pid, event.track),
+            "args": event.args,
+        }
+        if event.phase == "X":
+            record["dur"] = _seconds_to_us(event.dur)
+        elif event.phase == "i":
+            record["s"] = "t"  # thread-scoped instant
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path) -> None:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(events), handle)
+
+
+# ---------------------------------------------------------------------------
+# Text summary
+# ---------------------------------------------------------------------------
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return f"{int(value):,}"
+
+
+def render_summary(tracer: Tracer) -> str:
+    """End-of-run metrics table (one tracer = one cluster run)."""
+    metrics: MetricsRegistry = tracer.metrics
+    lines: List[str] = []
+
+    def section(title: str) -> None:
+        if lines:
+            lines.append("")
+        lines.append(title)
+        lines.append("-" * len(title))
+
+    def row(label: str, value) -> None:
+        lines.append(f"  {label:<28} {value}")
+
+    section("transactions")
+    row("root commits", _fmt(metrics.counter_total("txn.commits", kind="root")))
+    row("sub commits", _fmt(metrics.counter_total("txn.commits", kind="sub")))
+    for reason, count in sorted(
+        metrics.counter_series("txn.aborts", "reason").items()
+    ):
+        row(f"aborts ({reason})", _fmt(count))
+    latency = metrics.histogram("txn.latency_s")
+    if latency.count:
+        row("mean root latency (us)", _fmt(latency.mean * 1e6))
+    row("peak concurrent txns", _fmt(metrics.gauge("txn.active").high_water))
+
+    section("locking")
+    for scope, count in sorted(
+        metrics.counter_series("lock.acquisitions", "scope").items()
+    ):
+        row(f"acquisitions ({scope})", _fmt(count))
+    row("waits", _fmt(metrics.counter_total("lock.waits")))
+    wait = metrics.histogram("lock.wait_s")
+    if wait.count:
+        row("mean wait (us)", _fmt(wait.mean * 1e6))
+        row("max wait (us)", _fmt(wait.max * 1e6))
+    row("inherited locks", _fmt(metrics.counter_total("lock.inherits")))
+    row("deadlock victims", _fmt(metrics.counter_total("lock.deadlocks")))
+    row("gdo forwards", _fmt(metrics.counter_total("gdo.forwards")))
+
+    section("network")
+    row("total bytes", _fmt(metrics.counter_total("net.bytes")))
+    row("total messages", _fmt(metrics.counter_total("net.messages")))
+    for category, count in sorted(
+        metrics.counter_series("net.bytes", "category").items()
+    ):
+        row(f"bytes ({category})", _fmt(count))
+
+    section("data movement by cause")
+    for cause, count in sorted(
+        metrics.counter_series("transfer.bytes", "cause").items()
+    ):
+        pages = metrics.counter_total("transfer.pages", cause=cause)
+        row(f"{cause}", f"{_fmt(count)} bytes / {_fmt(pages)} pages")
+    predicted = metrics.counter_total("predict.predicted_pages")
+    shipped = metrics.counter_total("predict.shipped_pages")
+    demand = metrics.counter_total("predict.demand_pages")
+    row("predicted pages", _fmt(predicted))
+    row("shipped at acquisition", _fmt(shipped))
+    row("demand-fetched (misses)", _fmt(demand))
+    if shipped + demand:
+        coverage = 1.0 - demand / (shipped + demand)
+        row("prediction coverage", f"{coverage:.1%}")
+
+    lines.append("")
+    lines.append(f"trace events recorded: {len(tracer.events):,}")
+    return "\n".join(lines)

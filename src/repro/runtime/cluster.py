@@ -11,6 +11,7 @@ from repro.gdo.directory import Directory
 from repro.memory.store import NodeStore
 from repro.net.network import Network
 from repro.objects.registry import ObjectHandle, ObjectMeta, ObjectRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.objects.schema import ClassSchema, schema_of
 from repro.runtime.config import ClusterConfig
 from repro.runtime.executor import Executor
@@ -77,27 +78,33 @@ class Cluster:
             )
         self.config = config
         self.env = Environment()
+        self.tracer = (
+            Tracer(clock=lambda: self.env.now) if config.trace else NULL_TRACER
+        )
+        self.env.tracer = self.tracer
         self.rng = SeededRNG(config.seed)
         self.alloc = IdAllocator()
         self.nodes: List[NodeId] = [
             self.alloc.next_node() for _ in range(config.num_nodes)
         ]
-        self.network = Network(self.env, config.network)
+        self.network = Network(self.env, config.network, tracer=self.tracer)
         self.stores: Dict[NodeId, NodeStore] = {
             node: NodeStore(node) for node in self.nodes
         }
         self.registry = ObjectRegistry()
-        self.directory = Directory(self.nodes)
+        self.directory = Directory(self.nodes, tracer=self.tracer)
         self.cache = EntryCacheTracker(enabled=config.gdo_cache_enabled)
         self.lockmgr = LockManager(
             self.env, self.network, self.directory, config.sizes, self.cache,
             allow_recursive_reads=config.allow_recursive_reads,
+            tracer=self.tracer,
         )
         def protocol_factory(name):
             return make_protocol(
                 name, env=self.env, network=self.network,
                 sizes=config.sizes, stores=self.stores,
                 grain=config.transfer_grain, directory=self.directory,
+                tracer=self.tracer,
             )
 
         self.protocol = ProtocolSuite.build(
@@ -106,6 +113,7 @@ class Cluster:
         self.executor = Executor(
             self.env, config, self.alloc, self.stores, self.directory,
             self.lockmgr, self.protocol, self.rng.derive("executor"),
+            tracer=self.tracer,
         )
         self.executor._registry = self.registry
         self.scheduler = Scheduler(
@@ -290,6 +298,15 @@ class Cluster:
     @property
     def cache_stats(self):
         return self.cache.stats
+
+    @property
+    def metrics(self):
+        """The tracer's metrics registry; ``None`` when tracing is off."""
+        return self.tracer.metrics
+
+    @property
+    def trace_events(self):
+        return self.tracer.events
 
     @property
     def prediction_stats(self):

@@ -52,6 +52,11 @@ class ClusterConfig:
             predicted objects' locks, demoted to retained so
             sub-transactions acquire them locally), or
             ``"locks+pages"`` (also pre-fetch their stale pages).
+        trace: record every protocol decision (transaction spans, lock
+            grants/waits, GDO forwards, page transfers, per-message
+            network events) with the :mod:`repro.obs` tracer; off by
+            default — the disabled path is a no-op
+            :class:`~repro.obs.tracer.NullTracer`.
     """
 
     num_nodes: int = 4
@@ -70,6 +75,7 @@ class ClusterConfig:
     recovery: str = "undo"
     class_protocols: tuple = ()
     prefetch: str = "off"
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

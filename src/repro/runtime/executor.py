@@ -28,6 +28,7 @@ from repro.memory.shadow import ShadowLog
 from repro.memory.undo import UndoLog
 from repro.objects.proxy import InstrumentedSelf
 from repro.objects.registry import ObjectHandle
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.context import InvocationRequest, TxnContext
 from repro.txn.transaction import Transaction, TxnStats
 from repro.util.errors import (
@@ -134,7 +135,7 @@ class Executor:
     """Executes root transactions against one cluster's substrates."""
 
     def __init__(self, env, config, alloc, stores, directory, lockmgr,
-                 protocol, rng):
+                 protocol, rng, tracer=None):
         self.env = env
         self.config = config
         self.alloc = alloc
@@ -143,6 +144,7 @@ class Executor:
         self.lockmgr = lockmgr
         self.protocol = protocol
         self.rng = rng
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._recovery_factory = (
             ShadowLog if config.recovery == "shadow" else UndoLog
         )
@@ -163,6 +165,7 @@ class Executor:
                               label=label or method_name,
                               recovery_factory=self._recovery_factory)
             started = self.env.now
+            token = self.tracer.txn_begin(txn)
             try:
                 if self.config.prefetch != "off" and (
                     handle.meta.schema.method_spec(method_name).may_invoke
@@ -173,6 +176,7 @@ class Executor:
                 result = yield from self._execute(txn, handle, method_name, args)
             except DeadlockError:
                 yield from self._abort_root(txn)
+                self.tracer.txn_abort(token, txn, "deadlock")
                 self.txn_stats.aborts_deadlock += 1
                 attempts += 1
                 if attempts > self.config.max_retries:
@@ -187,22 +191,27 @@ class Executor:
                 continue
             except RecursiveInvocationError:
                 yield from self._abort_root(txn)
+                self.tracer.txn_abort(token, txn, "recursive")
                 self.txn_stats.aborts_recursive += 1
                 raise
             except ProtocolError:
                 raise  # internal invariant violation: never mask as an abort
             except TransactionAborted:
                 yield from self._abort_root(txn)
+                self.tracer.txn_abort(token, txn, "user")
                 self.txn_stats.aborts_user += 1
                 raise
             except Exception:
                 yield from self._abort_root(txn)
+                self.tracer.txn_abort(token, txn, "exception")
                 self.txn_stats.aborts_user += 1
                 raise
             yield from self._flush_delay(txn)
             yield from self._commit_root(txn)
             self.txn_stats.commits += 1
-            self.txn_stats.root_latencies.append(self.env.now - started)
+            latency = self.env.now - started
+            self.tracer.txn_commit(token, txn, latency)
+            self.txn_stats.root_latencies.append(latency)
             self.commit_log.append(
                 CommitRecord(
                     time=self.env.now, node=node, object_id=handle.object_id,
@@ -323,6 +332,7 @@ class Executor:
         spec = meta.schema.method_spec(method_name)
         if not txn.is_root:
             txn.label = method_name
+        token = None if txn.is_root else self.tracer.txn_begin(txn)
         prediction = predict(spec.access, meta.layout)
         mode = LockMode.WRITE if spec.is_update else LockMode.READ
         try:
@@ -351,13 +361,17 @@ class Executor:
             self._record_audit(ctx, spec, meta)
         except (ProtocolError, GeneratorExit):
             raise
-        except BaseException:
+        except BaseException as exc:
             yield from self._abort_sub(txn)
+            if not txn.is_root:
+                reason = "deadlock" if isinstance(exc, DeadlockError) else "abort"
+                self.tracer.txn_abort(token, txn, reason)
             raise
         if not txn.is_root:
             txn.precommit()
             self.lockmgr.precommit_release(txn)
             self.txn_stats.sub_commits += 1
+            self.tracer.txn_commit(token, txn)
         return result
 
     def _abort_sub(self, txn: Transaction):

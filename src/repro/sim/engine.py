@@ -6,6 +6,7 @@ import heapq
 import itertools
 from typing import Any, Generator, Optional
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.util.errors import ConfigurationError
@@ -17,17 +18,28 @@ class Environment:
     Events scheduled for the same instant are processed in trigger
     order (FIFO), which makes runs fully deterministic — essential for
     reproducible experiments and for the seeded workload generator.
+
+    ``tracer`` (settable after construction, since the tracer's clock
+    is this environment) receives one ``sim.run`` span per :meth:`run`
+    call; the default :data:`~repro.obs.tracer.NULL_TRACER` is a no-op.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, tracer=None):
         self._now = float(initial_time)
         self._queue: list = []
         self._sequence = itertools.count()
+        self._events_processed = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed since construction (diagnostics)."""
+        return self._events_processed
 
     # -- factory helpers -------------------------------------------------
 
@@ -59,6 +71,7 @@ class Environment:
         """Process the single next event, advancing the clock to it."""
         when, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self._events_processed += 1
         event._process()
 
     def run(self, until: Optional[float] = None) -> float:
@@ -72,14 +85,21 @@ class Environment:
             raise ConfigurationError(
                 f"run(until={until}) is before current time {self._now}"
             )
-        while self._queue:
-            if until is not None and self.peek() > until:
-                self._now = until
-                return self._now
-            self.step()
-        if until is not None:
-            self._now = max(self._now, until)
-        return self._now
+        token = self.tracer.begin("sim.run", "sim", until=until)
+        processed_before = self._events_processed
+        try:
+            while self._queue:
+                if until is not None and self.peek() > until:
+                    self._now = until
+                    return self._now
+                self.step()
+            if until is not None:
+                self._now = max(self._now, until)
+            return self._now
+        finally:
+            self.tracer.end(
+                token, events=self._events_processed - processed_before
+            )
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Convenience: spawn a process, run to completion, return value.

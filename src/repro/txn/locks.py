@@ -29,6 +29,7 @@ from repro.gdo.entry import DirectoryEntry, GrantDecision, LockMode, Waiter
 from repro.net.message import Message, MessageCategory
 from repro.net.network import Network
 from repro.net.sizes import SizeModel
+from repro.obs.tracer import NULL_TRACER
 from repro.txn.transaction import Transaction
 from repro.util.errors import DeadlockError, ProtocolError, RecursiveInvocationError
 from repro.util.ids import NodeId, ObjectId
@@ -70,13 +71,14 @@ class LockManager:
 
     def __init__(self, env, network: Network, directory: Directory,
                  sizes: SizeModel, cache: EntryCacheTracker,
-                 allow_recursive_reads: bool = False):
+                 allow_recursive_reads: bool = False, tracer=None):
         self.env = env
         self.network = network
         self.directory = directory
         self.sizes = sizes
         self.cache = cache
         self.allow_recursive_reads = allow_recursive_reads
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = LockStats()
         # At most one blocked transaction per (sequential) family.
         self._blocked: Dict[int, _BlockedFamily] = {}
@@ -120,6 +122,8 @@ class LockManager:
                 self._record_grant(object_id, txn, mode)
                 txn.lock_objects.add(object_id)
                 self.stats.local_acquisitions += 1
+                self.tracer.lock_granted(txn, object_id, mode, "local",
+                                         info=entry.trace_info())
                 return None
             if decision is GrantDecision.WAIT_LOCAL:
                 self.stats.local_acquisitions += 1
@@ -131,6 +135,7 @@ class LockManager:
             # forwards such requests to GlobalLockAcquisition.
         # Algorithm 4.2: global processing at the entry's home node.
         self.stats.global_acquisitions += 1
+        self.tracer.gdo_forward(node, entry.home_node, object_id)
         request = Message(
             src=node, dst=entry.home_node,
             category=MessageCategory.LOCK_REQUEST,
@@ -168,6 +173,8 @@ class LockManager:
             )
             yield self.network.send(grant)
             txn.lock_objects.add(object_id)
+            self.tracer.lock_granted(txn, object_id, mode, "global",
+                                     info=entry.trace_info())
             self.directory.refresh_deadlock_edges(object_id)
             # A grant can complete a cycle for families already queued
             # behind this lock (reader preference), so re-check.
@@ -205,6 +212,7 @@ class LockManager:
             txn.id.root
         ):
             self.stats.prefetch_denied += 1
+            self.tracer.lock_prefetch(txn, object_id, granted=False)
             nack = Message(
                 src=entry.home_node, dst=node,
                 category=MessageCategory.CONTROL,
@@ -217,6 +225,7 @@ class LockManager:
         entry.demote_to_retained(txn)
         self.cache.on_granted(object_id, node)
         self.stats.prefetch_granted += 1
+        self.tracer.lock_prefetch(txn, object_id, granted=True)
         snapshot = entry.page_map_snapshot()
         grant = Message(
             src=entry.home_node, dst=node,
@@ -254,10 +263,17 @@ class LockManager:
         )
         self.directory.refresh_deadlock_edges(entry.object_id)
         self._detect_deadlocks()
+        token = self.tracer.lock_wait_begin(
+            txn, entry.object_id, mode, "local" if local else "global"
+        )
         try:
             payload = yield waiter.wake
+        except BaseException:
+            self.tracer.lock_wait_end(token, ok=False)
+            raise
         finally:
             self._blocked.pop(root, None)
+        self.tracer.lock_wait_end(token, ok=True)
         self._record_grant(entry.object_id, txn, mode)
         return payload
 
@@ -294,6 +310,7 @@ class LockManager:
             victim_root = max(blocked_roots)
             blocked = self._blocked[victim_root]
         self.stats.deadlocks += 1
+        self.tracer.deadlock(victim_root, cycle)
         self._blocked.pop(victim_root, None)
         entry = self.directory.entry(blocked.object_id)
         entry.remove_waiter(blocked.txn.id)
@@ -313,6 +330,8 @@ class LockManager:
         parent = txn.parent
         if parent is None:
             raise ProtocolError("precommit_release on a root transaction")
+        if txn.lock_objects:
+            self.tracer.lock_inherited(txn, parent, sorted(txn.lock_objects))
         for object_id in sorted(txn.lock_objects):
             entry = self.directory.entry(object_id)
             entry.release_to_parent(txn, parent)
@@ -339,7 +358,7 @@ class LockManager:
                     waiter.wake.succeed(None)
         yield from self._global_release(
             node=txn.node, root_serial=txn.id.root, object_ids=freed,
-            dirty={}, resident_versions={},
+            dirty={}, resident_versions={}, cause="sub-abort",
         )
 
     def root_commit_release(self, root: Transaction, resident_versions):
@@ -353,6 +372,7 @@ class LockManager:
             node=root.node, root_serial=root.id.root,
             object_ids=sorted(root.lock_objects),
             dirty=root.dirty, resident_versions=resident_versions,
+            cause="commit",
         )
 
     def root_abort_release(self, root: Transaction):
@@ -360,15 +380,17 @@ class LockManager:
         yield from self._global_release(
             node=root.node, root_serial=root.id.root,
             object_ids=sorted(root.lock_objects),
-            dirty={}, resident_versions={},
+            dirty={}, resident_versions={}, cause="abort",
         )
 
     def _global_release(self, node: NodeId, root_serial: int,
                         object_ids: List[ObjectId],
                         dirty: Dict[ObjectId, set],
-                        resident_versions: Dict[ObjectId, Dict[int, int]]):
+                        resident_versions: Dict[ObjectId, Dict[int, int]],
+                        cause: str = "commit"):
         if not object_ids:
             return
+        self.tracer.lock_released(node, root_serial, object_ids, cause)
         # One release message per distinct home node, dirty info
         # piggybacked (§4.1: "Dirty page information may be piggybacked
         # on each global lock release message").

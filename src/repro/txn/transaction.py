@@ -143,6 +143,18 @@ class Transaction:
     def mark_aborted(self) -> None:
         self.state = TxnState.ABORTED
 
+    # -- observability ---------------------------------------------------------
+
+    def trace_info(self) -> Dict[str, object]:
+        """Compact description for trace-event args (span begin time, so
+        the state field is omitted — it is always ACTIVE here)."""
+        return {
+            "txn": self.id,
+            "label": self.label,
+            "depth": self.depth,
+            "is_root": self.is_root,
+        }
+
     def __repr__(self) -> str:
         return f"<Txn {self.id!r} {self.state.value} @{self.node!r} {self.label}>"
 

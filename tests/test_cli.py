@@ -61,6 +61,87 @@ class TestCompare:
             main(["compare", "--scenario", "tiny-high"])
 
 
+class TestVersion:
+    def test_version_subcommand(self, capsys):
+        import repro
+
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out.strip() == repro.__version__
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_dunder_version_matches_metadata(self):
+        import repro
+
+        try:
+            from importlib.metadata import version
+            expected = version("repro")
+        except Exception:
+            expected = "1.0.0"  # source-tree fallback
+        assert repro.__version__ == expected
+
+
+class TestTrace:
+    def test_trace_writes_artifacts_and_summary(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        code = main(["trace", "medium-high", "--scale", "0.08",
+                     "--seed", "2", "--nodes", "3",
+                     "--out", str(out_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total bytes" in out
+        assert "root commits" in out
+
+        jsonl = out_dir / "medium-high-lotec.jsonl"
+        chrome = out_dir / "medium-high-lotec.chrome.json"
+        assert jsonl.exists() and chrome.exists()
+
+        # The Chrome export must be valid trace_event JSON.
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        for record in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(record)
+
+        # The JSONL log holds one JSON object per line.
+        lines = [line for line in jsonl.read_text().splitlines() if line]
+        assert lines
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+
+    def test_trace_summary_matches_network_stats(self, tmp_path, capsys):
+        from repro.runtime.cluster import Cluster
+        from repro.runtime.config import ClusterConfig
+        from repro.workload.generator import generate_workload
+        from repro.workload.params import SCENARIOS
+        from repro.workload.runner import run_workload
+
+        code = main(["trace", "medium-high", "--scale", "0.08",
+                     "--seed", "2", "--nodes", "3",
+                     "--out", str(tmp_path / "run")])
+        assert code == 0
+        out = capsys.readouterr().out
+
+        # Re-run the identical deterministic scenario and check the
+        # byte total printed by the summary is NetworkStats', exactly.
+        params = SCENARIOS["medium-high"].scaled(0.08)
+        workload = generate_workload(params, seed=2)
+        cluster = Cluster(ClusterConfig(
+            num_nodes=3, protocol="lotec", seed=2,
+            audit_accesses=False, trace=True,
+        ))
+        run_workload(cluster, workload)
+        assert f"{cluster.network_stats.total_bytes:,}" in out
+
+    def test_trace_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "tiny-high"])
+
+
 class TestChartFlag:
     def test_chart_rendering(self, capsys):
         code = main(["experiment", "abl-gdocache", "--scale", "0.08",

@@ -250,6 +250,37 @@ class TestNodeTraffic:
         assert stats.by_node[N1].received_bytes == 100
         assert stats.by_node[N2].sent_bytes == 50
 
+    def test_accounted_through_network_send_and_charge(self):
+        env = Environment()
+        net = Network(env, NetworkConfig(bandwidth_bps=8e6,
+                                         software_cost_s=1e-3))
+        net.send(msg(src=N0, dst=N1, size=400))
+        net.charge(msg(src=N1, dst=N2, size=600))
+        env.run()
+        assert net.stats.by_node[N0].sent_bytes == 400
+        assert net.stats.by_node[N1].received_bytes == 400
+        assert net.stats.by_node[N1].sent_bytes == 600
+        assert net.stats.by_node[N2].received_bytes == 600
+
+    def test_local_messages_not_accounted_per_node(self):
+        env = Environment()
+        net = Network(env, NetworkConfig(bandwidth_bps=8e6,
+                                         software_cost_s=1e-3))
+        net.send(msg(src=N0, dst=N0, size=400))
+        net.charge(msg(src=N1, dst=N1, size=600))
+        assert net.stats.by_node == {}
+
+    def test_per_node_totals_sum_to_aggregate(self):
+        stats = NetworkStats()
+        stats.record(msg(src=N0, dst=N1, size=100), 0.1)
+        stats.record(msg(src=N1, dst=N2, size=250), 0.1)
+        stats.record(msg(src=N2, dst=N0, size=75), 0.1)
+        sent = sum(t.sent_bytes for t in stats.by_node.values())
+        received = sum(t.received_bytes for t in stats.by_node.values())
+        assert sent == received == stats.total_bytes == 425
+        assert sum(t.sent_messages for t in stats.by_node.values()) == 3
+        assert sum(t.received_messages for t in stats.by_node.values()) == 3
+
     def test_imbalance_even(self):
         stats = NetworkStats()
         stats.record(msg(src=N0, dst=N1, size=100), 0.1)
