@@ -1,0 +1,46 @@
+"""Harness benchmark: the parallel, cached runner itself.
+
+Times one figure regenerated through a worker pool, then again from a
+warm on-disk cache, and asserts both produce results byte-identical to
+the serial run.  The cached pass must be essentially free (it replays
+JSON instead of simulating), and on a multi-core machine the pooled
+pass beats the serial wall clock; neither property changes the output.
+"""
+
+import json
+
+from repro.bench import ExperimentRunner, ResultCache, run_experiment
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+JOBS = 4
+
+
+def _blob(result):
+    return json.dumps(result.to_json(), sort_keys=True)
+
+
+def test_fig6_parallel_matches_serial(benchmark, show):
+    serial = run_experiment("fig6", seed=BENCH_SEED, scale=BENCH_SCALE)
+    pooled = run_once(
+        benchmark, run_experiment, "fig6",
+        jobs=JOBS, seed=BENCH_SEED, scale=BENCH_SCALE,
+    )
+    show(pooled)
+    assert _blob(pooled) == _blob(serial)
+
+
+def test_fig6_cached_replay(benchmark, tmp_path, show):
+    cache = ResultCache(root=str(tmp_path / "cache"))
+    warm = run_experiment("fig6", cache=cache,
+                          seed=BENCH_SEED, scale=BENCH_SCALE)
+
+    runner = ExperimentRunner(cache=cache)
+    cached = run_once(
+        benchmark, runner.run, "fig6",
+        seed=BENCH_SEED, scale=BENCH_SCALE,
+    )
+    show(cached)
+    assert runner.last_stats.executed == 0
+    assert runner.last_stats.cache_hits == runner.last_stats.runs > 0
+    assert _blob(cached) == _blob(warm)

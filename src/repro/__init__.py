@@ -62,6 +62,15 @@ try:  # pragma: no cover - which branch runs depends on the install mode
 except PackageNotFoundError:  # pragma: no cover
     __version__ = "1.0.0"
 
+# The experiment harness imports repro.__version__ (cache keys), so it
+# loads last.
+from repro.bench import (  # noqa: E402
+    ExperimentResult,
+    ExperimentRunner,
+    ResultCache,
+    run_experiment,
+)
+
 __all__ = [
     "Array",
     "Attr",
@@ -70,6 +79,9 @@ __all__ = [
     "ConfigurationError",
     "DeadlockError",
     "ETHERNET_10M",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ResultCache",
     "FAST_ETHERNET_100M",
     "GIGABIT_1G",
     "MetricsRegistry",
@@ -88,6 +100,7 @@ __all__ = [
     "method",
     "preset_network",
     "replay_serially",
+    "run_experiment",
     "shared_class",
     "__version__",
 ]

@@ -1,14 +1,24 @@
 """Experiment harness: one driver per paper figure/table.
 
-Each driver regenerates a figure's underlying numbers (same series the
-paper plots) on this reproduction's simulator and returns a structured
-result; :mod:`repro.bench.report` renders them as ASCII tables.  See
+Each driver declares its runs as an
+:class:`~repro.bench.parallel.ExperimentPlan` (one fresh deterministic
+cluster per configuration under comparison) and regenerates a figure's
+underlying numbers (same series the paper plots) on this
+reproduction's simulator; :class:`~repro.bench.parallel.ExperimentRunner`
+executes plans serially or across a process pool, memoized through
+:class:`~repro.bench.cache.ResultCache`, and
+:mod:`repro.bench.report` renders the results as ASCII tables.  See
 DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
 paper-vs-measured outcomes.
 """
 
+from repro.bench.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.bench.experiments import (
+    EXPERIMENTS,
+    PLAN_BUILDERS,
+    RESULT_SCHEMA_VERSION,
     ExperimentResult,
+    build_plan,
     run_aggregation_ablation,
     run_bytes_figure,
     run_claims_messages,
@@ -23,10 +33,31 @@ from repro.bench.experiments import (
     run_recovery_ablation,
     run_time_figure,
 )
-from repro.bench.report import format_bar_chart, format_series_table, format_table
+from repro.bench.parallel import (
+    ExperimentPlan,
+    ExperimentRunner,
+    RunSpec,
+    run_experiment,
+)
+from repro.bench.report import (
+    format_bar_chart,
+    format_bench_summary,
+    format_series_table,
+    format_table,
+)
 
 __all__ = [
+    "DEFAULT_CACHE_DIR",
+    "EXPERIMENTS",
+    "ExperimentPlan",
     "ExperimentResult",
+    "ExperimentRunner",
+    "PLAN_BUILDERS",
+    "RESULT_SCHEMA_VERSION",
+    "ResultCache",
+    "RunSpec",
+    "build_plan",
+    "run_experiment",
     "run_bytes_figure",
     "run_time_figure",
     "run_claims_reduction",
@@ -42,5 +73,6 @@ __all__ = [
     "run_aggregation_ablation",
     "format_table",
     "format_bar_chart",
+    "format_bench_summary",
     "format_series_table",
 ]

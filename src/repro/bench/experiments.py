@@ -1,29 +1,57 @@
 """Experiment drivers: one per paper figure / table / ablation.
 
-All drivers follow the same pattern: generate one workload from a
-seed, run it on one fresh cluster per configuration under comparison
-(identical load, only the knob under study differs), and return the
-series the corresponding paper artifact plots.  ``scale`` shrinks the
-root-transaction count so the same driver serves unit tests (fast),
-benches (full), and exploratory runs.
+All drivers follow the same declarative pattern: a ``plan_*`` builder
+turns the driver's arguments into an
+:class:`~repro.bench.parallel.ExperimentPlan` — an ordered list of
+:class:`~repro.bench.parallel.RunSpec` (one fresh deterministic
+cluster per configuration under comparison; identical load, only the
+knob under study differs) plus a ``collect`` function that folds the
+per-run measurements into the series the corresponding paper artifact
+plots.  The public ``run_*`` functions execute their plan with a
+serial in-process :class:`~repro.bench.parallel.ExperimentRunner` by
+default; pass ``runner=ExperimentRunner(jobs=N, cache=...)`` to fan
+the same plan out over a process pool and/or the on-disk result cache.
+
+``scale`` shrinks the root-transaction count so the same driver serves
+unit tests (fast), benches (full), and exploratory runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.bench.parallel import (
+    ExperimentPlan,
+    ExperimentRunner,
+    RunSpec,
+    cluster_measurement,
+    register_builder,
+)
 from repro.bench.report import format_bar_chart, format_series_table
 from repro.net.presets import SOFTWARE_COSTS, preset_network
 from repro.runtime.cluster import Cluster
 from repro.runtime.config import ClusterConfig
-from repro.workload.generator import Workload, generate_workload
+from repro.workload.generator import generate_workload
 from repro.workload.params import SCENARIOS, WorkloadParams
-from repro.workload.runner import WorkloadRun, run_workload
 
 THREE_PROTOCOLS = ("cotec", "otec", "lotec")
 FOUR_PROTOCOLS = ("cotec", "otec", "lotec", "rc")
 FIVE_PROTOCOLS = ("cotec", "otec", "lotec", "hlotec", "rc")
+
+#: Version of the JSON envelope written by
+#: :meth:`ExperimentResult.to_json` (the ``BENCH_*.json`` format).
+RESULT_SCHEMA_VERSION = 1
+
+
+def _json_safe(value) -> bool:
+    import json
+
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False
 
 
 @dataclass
@@ -49,14 +77,41 @@ class ExperimentResult:
             for name, points in self.series.items()
         }
 
+    def to_json(self) -> Dict[str, object]:
+        """The stable on-disk form (``BENCH_*.json`` trajectory files):
+        a versioned envelope around the series, with any
+        non-JSON-serializable meta entries dropped."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "x_label": self.x_label,
+            "series": self.series,
+            "meta": {
+                key: value
+                for key, value in self.meta.items()
+                if _json_safe(value)
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ExperimentResult":
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported result schema {schema!r} "
+                f"(this build reads schema {RESULT_SCHEMA_VERSION})"
+            )
+        return cls(
+            experiment=data["experiment"],
+            x_label=data["x_label"],
+            series=data["series"],
+            meta=dict(data.get("meta", {})),
+        )
+
 
 def _base_config(num_nodes: int, seed: int, **overrides) -> ClusterConfig:
     overrides.setdefault("audit_accesses", False)
     return ClusterConfig(num_nodes=num_nodes, seed=seed, **overrides)
-
-
-def _run(config: ClusterConfig, workload: Workload) -> WorkloadRun:
-    return run_workload(Cluster(config), workload)
 
 
 def _scenario_params(scenario: str, scale: float) -> WorkloadParams:
@@ -69,432 +124,678 @@ def _scenario_params(scenario: str, scale: float) -> WorkloadParams:
     return params.scaled(scale)
 
 
-def _object_bytes_series(run: WorkloadRun, object_indexes: Sequence[int]):
-    stats = run.cluster.network_stats
-    series = {}
-    for index in object_indexes:
-        handle = run.handles[index]
-        traffic = stats.by_object.get(handle.object_id)
-        series[f"O{index}"] = traffic.data_bytes if traffic else 0
-    return series
+def _runner(runner: Optional[ExperimentRunner]) -> ExperimentRunner:
+    return runner if runner is not None else ExperimentRunner()
 
 
-def _select_objects(run: WorkloadRun, count: int) -> List[int]:
+# ---------------------------------------------------------------------------
+# Measurement accessors (collect-side mirror of the old WorkloadRun reads)
+# ---------------------------------------------------------------------------
+
+def _object_field(measurement: Dict, index: int, name: str, default=0):
+    traffic = measurement["objects"].get(str(index))
+    return traffic[name] if traffic is not None else default
+
+
+def _ranked_objects(measurement: Dict, num_objects: int) -> List[int]:
     """The paper plots "various shared objects ... selected to reflect
-    a variety of reference patterns": take the most-referenced objects,
-    in object-id order."""
-    stats = run.cluster.network_stats
-    ranked = sorted(
-        range(len(run.handles)),
-        key=lambda index: -(
-            stats.by_object.get(run.handles[index].object_id).bytes
-            if run.handles[index].object_id in stats.by_object
-            else 0
-        ),
+    a variety of reference patterns": rank objects by total traffic
+    (stable, so ties keep object-id order)."""
+    return sorted(
+        range(num_objects),
+        key=lambda index: -_object_field(measurement, index, "bytes"),
     )
-    return sorted(ranked[:count])
+
+
+def _select_objects(measurement: Dict, num_objects: int,
+                    count: int) -> List[int]:
+    """Top ``count`` most-referenced objects, in object-id order."""
+    return sorted(_ranked_objects(measurement, num_objects)[:count])
 
 
 # ---------------------------------------------------------------------------
 # Figures 2-5: bytes to maintain consistency, per shared object
 # ---------------------------------------------------------------------------
 
+def plan_bytes_figure(scenario: str, seed: int = 11, num_nodes: int = 4,
+                      scale: float = 1.0, objects_shown: int = 15,
+                      protocols: Sequence[str] = THREE_PROTOCOLS,
+                      ) -> ExperimentPlan:
+    params = _scenario_params(scenario, scale)
+    protocols = tuple(protocols)
+    specs = [
+        RunSpec(
+            driver=f"bytes-figure:{scenario}", key=protocol,
+            config=_base_config(num_nodes, seed, protocol=protocol),
+            params=params, seed=seed,
+        )
+        for protocol in protocols
+    ]
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        by_protocol = dict(zip(protocols, measurements))
+        # Choose the displayed objects from the baseline run so every
+        # protocol reports the same x axis.
+        shown = _select_objects(
+            measurements[0], params.num_objects, objects_shown
+        )
+        series = {
+            protocol: {
+                f"O{index}": _object_field(m, index, "data_bytes")
+                for index in shown
+            }
+            for protocol, m in by_protocol.items()
+        }
+        return ExperimentResult(
+            experiment=f"bytes per shared object — {scenario}",
+            x_label="object",
+            series=series,
+            meta={
+                "scenario": scenario,
+                "committed": {
+                    p: m["committed"] for p, m in by_protocol.items()
+                },
+                "failed": {p: m["failed"] for p, m in by_protocol.items()},
+                "total_data_bytes": {
+                    p: m["network"]["consistency_bytes"]
+                    for p, m in by_protocol.items()
+                },
+                "total_messages": {
+                    p: m["network"]["total_messages"]
+                    for p, m in by_protocol.items()
+                },
+            },
+        )
+
+    return ExperimentPlan(f"bytes-figure:{scenario}", specs, collect)
+
+
 def run_bytes_figure(scenario: str, seed: int = 11, num_nodes: int = 4,
                      scale: float = 1.0, objects_shown: int = 15,
-                     protocols: Sequence[str] = THREE_PROTOCOLS) -> ExperimentResult:
+                     protocols: Sequence[str] = THREE_PROTOCOLS,
+                     runner: Optional[ExperimentRunner] = None,
+                     ) -> ExperimentResult:
     """Figures 2-5: per-object consistency bytes under each protocol."""
-    params = _scenario_params(scenario, scale)
-    workload = generate_workload(params, seed=seed)
-    runs: Dict[str, WorkloadRun] = {}
-    for protocol in protocols:
-        runs[protocol] = _run(
-            _base_config(num_nodes, seed, protocol=protocol), workload
-        )
-    # Choose the displayed objects from the baseline run so every
-    # protocol reports the same x axis.
-    shown = _select_objects(runs[protocols[0]], objects_shown)
-    series = {
-        protocol: _object_bytes_series(run, shown)
-        for protocol, run in runs.items()
-    }
-    return ExperimentResult(
-        experiment=f"bytes per shared object — {scenario}",
-        x_label="object",
-        series=series,
-        meta={
-            "scenario": scenario,
-            "committed": {p: r.committed for p, r in runs.items()},
-            "failed": {p: r.failed for p, r in runs.items()},
-            "total_data_bytes": {
-                p: r.cluster.network_stats.consistency_bytes()
-                for p, r in runs.items()
-            },
-            "total_messages": {
-                p: r.cluster.network_stats.total_messages
-                for p, r in runs.items()
-            },
-        },
-    )
+    return _runner(runner).run_plan(plan_bytes_figure(
+        scenario, seed=seed, num_nodes=num_nodes, scale=scale,
+        objects_shown=objects_shown, protocols=protocols,
+    ))
 
 
 # ---------------------------------------------------------------------------
 # Figures 6-8: total message time vs software cost, per bandwidth
 # ---------------------------------------------------------------------------
 
-def run_time_figure(bandwidth: str, scenario: str = "large-high",
-                    seed: int = 11, num_nodes: int = 4, scale: float = 1.0,
-                    software_costs: Optional[Sequence[str]] = None,
-                    protocols: Sequence[str] = THREE_PROTOCOLS) -> ExperimentResult:
-    """Figures 6-8: total message time for one hot shared object across
-    per-message software costs at a fixed bandwidth."""
+def plan_time_figure(bandwidth: str, scenario: str = "large-high",
+                     seed: int = 11, num_nodes: int = 4, scale: float = 1.0,
+                     software_costs: Optional[Sequence[str]] = None,
+                     protocols: Sequence[str] = THREE_PROTOCOLS,
+                     ) -> ExperimentPlan:
     costs = list(software_costs or SOFTWARE_COSTS)
+    protocols = tuple(protocols)
     params = _scenario_params(scenario, scale)
-    workload = generate_workload(params, seed=seed)
-    series: Dict[str, Dict[str, object]] = {p: {} for p in protocols}
-    hot_series: Dict[str, Dict[str, float]] = {p: {} for p in protocols}
-    hot_index: Optional[int] = None
-    for cost in costs:
-        network = preset_network(bandwidth, cost)
-        for protocol in protocols:
-            run = _run(
-                _base_config(num_nodes, seed, protocol=protocol,
-                             network=network),
-                workload,
-            )
-            if hot_index is None:
-                hot_index = _select_objects(run, 1)[0]
-            stats = run.cluster.network_stats
+    points = [(cost, protocol) for cost in costs for protocol in protocols]
+    specs = [
+        RunSpec(
+            driver=f"time-figure:{bandwidth}:{scenario}",
+            key=f"{protocol}@{cost}",
+            config=_base_config(
+                num_nodes, seed, protocol=protocol,
+                network=preset_network(bandwidth, cost),
+            ),
+            params=params, seed=seed,
+        )
+        for cost, protocol in points
+    ]
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {p: {} for p in protocols}
+        hot_series: Dict[str, Dict[str, float]] = {p: {} for p in protocols}
+        # The hot object is picked once, from the first run, so every
+        # sweep point traces the same object.
+        hot_index = _select_objects(measurements[0], params.num_objects, 1)[0]
+        for (cost, protocol), m in zip(points, measurements):
             # Cluster-wide total message time in microseconds (the
             # stable aggregate of the per-object quantity the paper
             # plots; single-object traces for the hottest object are
             # kept in meta, but retry nondeterminism across sweep
             # points makes them noisy).
-            series[protocol][cost] = stats.total_time * 1e6
-            handle = run.handles[hot_index]
-            traffic = stats.by_object.get(handle.object_id)
+            series[protocol][cost] = m["network"]["total_time"] * 1e6
             hot_series[protocol][cost] = (
-                (traffic.time if traffic else 0.0) * 1e6
+                _object_field(m, hot_index, "time", 0.0) * 1e6
             )
-    return ExperimentResult(
-        experiment=f"total message time (us) @ {bandwidth}",
-        x_label="software cost",
-        series=series,
-        meta={"bandwidth": bandwidth, "hot_object": hot_index,
-              "hot_object_series": hot_series, "scenario": scenario},
-    )
+        return ExperimentResult(
+            experiment=f"total message time (us) @ {bandwidth}",
+            x_label="software cost",
+            series=series,
+            meta={"bandwidth": bandwidth, "hot_object": hot_index,
+                  "hot_object_series": hot_series, "scenario": scenario},
+        )
+
+    return ExperimentPlan(f"time-figure:{bandwidth}:{scenario}", specs,
+                          collect)
+
+
+def run_time_figure(bandwidth: str, scenario: str = "large-high",
+                    seed: int = 11, num_nodes: int = 4, scale: float = 1.0,
+                    software_costs: Optional[Sequence[str]] = None,
+                    protocols: Sequence[str] = THREE_PROTOCOLS,
+                    runner: Optional[ExperimentRunner] = None,
+                    ) -> ExperimentResult:
+    """Figures 6-8: total message time for one hot shared object across
+    per-message software costs at a fixed bandwidth."""
+    return _runner(runner).run_plan(plan_time_figure(
+        bandwidth, scenario=scenario, seed=seed, num_nodes=num_nodes,
+        scale=scale, software_costs=software_costs, protocols=protocols,
+    ))
 
 
 # ---------------------------------------------------------------------------
 # §5 prose claims
 # ---------------------------------------------------------------------------
 
+def plan_claims_reduction(seed: int = 11, num_nodes: int = 4,
+                          scale: float = 1.0,
+                          scenarios: Optional[Sequence[str]] = None,
+                          ) -> ExperimentPlan:
+    chosen = list(scenarios or SCENARIOS)
+    points = [
+        (scenario, protocol)
+        for scenario in chosen for protocol in THREE_PROTOCOLS
+    ]
+    specs = [
+        RunSpec(
+            driver="claims-reduction", key=f"{protocol}@{scenario}",
+            config=_base_config(num_nodes, seed, protocol=protocol),
+            params=_scenario_params(scenario, scale), seed=seed,
+        )
+        for scenario, protocol in points
+    ]
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {
+            p: {} for p in THREE_PROTOCOLS
+        }
+        reductions: Dict[str, Dict[str, float]] = {}
+        by_point = dict(zip(points, measurements))
+        for scenario in chosen:
+            totals = {
+                protocol: by_point[(scenario, protocol)]
+                ["network"]["consistency_bytes"]
+                for protocol in THREE_PROTOCOLS
+            }
+            for protocol in THREE_PROTOCOLS:
+                series[protocol][scenario] = totals[protocol]
+            reductions[scenario] = {
+                "otec_vs_cotec": 1 - totals["otec"] / totals["cotec"],
+                "lotec_vs_otec": 1 - totals["lotec"] / totals["otec"],
+            }
+        return ExperimentResult(
+            experiment="aggregate consistency bytes per scenario",
+            x_label="scenario",
+            series=series,
+            meta={"reductions": reductions},
+        )
+
+    return ExperimentPlan("claims-reduction", specs, collect)
+
+
 def run_claims_reduction(seed: int = 11, num_nodes: int = 4,
                          scale: float = 1.0,
-                         scenarios: Optional[Sequence[str]] = None) -> ExperimentResult:
+                         scenarios: Optional[Sequence[str]] = None,
+                         runner: Optional[ExperimentRunner] = None,
+                         ) -> ExperimentResult:
     """"OTEC generally outperforms COTEC by approximately 20-25% while
     LOTEC outperforms OTEC by another 5-10%" — aggregate consistency
     bytes per scenario, with reduction percentages."""
-    chosen = list(scenarios or SCENARIOS)
-    series: Dict[str, Dict[str, object]] = {p: {} for p in THREE_PROTOCOLS}
-    reductions: Dict[str, Dict[str, float]] = {}
-    for scenario in chosen:
-        workload = generate_workload(_scenario_params(scenario, scale), seed=seed)
-        totals = {}
-        for protocol in THREE_PROTOCOLS:
-            run = _run(_base_config(num_nodes, seed, protocol=protocol), workload)
-            totals[protocol] = run.cluster.network_stats.consistency_bytes()
-            series[protocol][scenario] = totals[protocol]
-        reductions[scenario] = {
-            "otec_vs_cotec": 1 - totals["otec"] / totals["cotec"],
-            "lotec_vs_otec": 1 - totals["lotec"] / totals["otec"],
+    return _runner(runner).run_plan(plan_claims_reduction(
+        seed=seed, num_nodes=num_nodes, scale=scale, scenarios=scenarios,
+    ))
+
+
+def plan_claims_messages(scenario: str = "large-high", seed: int = 11,
+                         num_nodes: int = 4, scale: float = 1.0,
+                         ) -> ExperimentPlan:
+    params = _scenario_params(scenario, scale)
+    specs = [
+        RunSpec(
+            driver=f"claims-messages:{scenario}", key=protocol,
+            config=_base_config(num_nodes, seed, protocol=protocol),
+            params=params, seed=seed,
+        )
+        for protocol in THREE_PROTOCOLS
+    ]
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {
+            "messages": {}, "bytes": {}, "mean_message_bytes": {},
         }
-    return ExperimentResult(
-        experiment="aggregate consistency bytes per scenario",
-        x_label="scenario",
-        series=series,
-        meta={"reductions": reductions},
-    )
+        for protocol, m in zip(THREE_PROTOCOLS, measurements):
+            messages = m["network"]["total_messages"]
+            series["messages"][protocol] = messages
+            series["bytes"][protocol] = m["network"]["total_bytes"]
+            series["mean_message_bytes"][protocol] = (
+                m["network"]["total_bytes"] / messages if messages else 0
+            )
+        return ExperimentResult(
+            experiment=f"message counts vs sizes — {scenario}",
+            x_label="metric",
+            series=series,
+            meta={"scenario": scenario},
+        )
+
+    return ExperimentPlan(f"claims-messages:{scenario}", specs, collect)
 
 
 def run_claims_messages(scenario: str = "large-high", seed: int = 11,
-                        num_nodes: int = 4, scale: float = 1.0) -> ExperimentResult:
+                        num_nodes: int = 4, scale: float = 1.0,
+                        runner: Optional[ExperimentRunner] = None,
+                        ) -> ExperimentResult:
     """"LOTEC also sends many more messages (albeit small ones) than
     OTEC or COTEC" — message counts and mean message size."""
-    workload = generate_workload(_scenario_params(scenario, scale), seed=seed)
-    series: Dict[str, Dict[str, object]] = {
-        "messages": {}, "bytes": {}, "mean_message_bytes": {},
-    }
-    for protocol in THREE_PROTOCOLS:
-        run = _run(_base_config(num_nodes, seed, protocol=protocol), workload)
-        stats = run.cluster.network_stats
-        series["messages"][protocol] = stats.total_messages
-        series["bytes"][protocol] = stats.total_bytes
-        series["mean_message_bytes"][protocol] = (
-            stats.total_bytes / stats.total_messages if stats.total_messages else 0
-        )
-    return ExperimentResult(
-        experiment=f"message counts vs sizes — {scenario}",
-        x_label="metric",
-        series=series,
-        meta={"scenario": scenario},
-    )
+    return _runner(runner).run_plan(plan_claims_messages(
+        scenario, seed=seed, num_nodes=num_nodes, scale=scale,
+    ))
 
 
 # ---------------------------------------------------------------------------
 # Ablations
 # ---------------------------------------------------------------------------
 
+def plan_rc_ablation(scenario: str = "medium-high", seed: int = 11,
+                     num_nodes: int = 4, scale: float = 1.0,
+                     ) -> ExperimentPlan:
+    params = _scenario_params(scenario, scale)
+    specs = [
+        RunSpec(
+            driver=f"abl-rc:{scenario}", key=protocol,
+            config=_base_config(num_nodes, seed, protocol=protocol),
+            params=params, seed=seed,
+        )
+        for protocol in FIVE_PROTOCOLS
+    ]
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {
+            "data_bytes": {}, "messages": {},
+        }
+        for protocol, m in zip(FIVE_PROTOCOLS, measurements):
+            series["data_bytes"][protocol] = (
+                m["network"]["consistency_bytes"]
+            )
+            series["messages"][protocol] = m["network"]["total_messages"]
+        return ExperimentResult(
+            experiment=f"RC extension vs lazy protocols — {scenario}",
+            x_label="metric",
+            series=series,
+            meta={"scenario": scenario},
+        )
+
+    return ExperimentPlan(f"abl-rc:{scenario}", specs, collect)
+
+
 def run_rc_ablation(scenario: str = "medium-high", seed: int = 11,
-                    num_nodes: int = 4, scale: float = 1.0) -> ExperimentResult:
+                    num_nodes: int = 4, scale: float = 1.0,
+                    runner: Optional[ExperimentRunner] = None,
+                    ) -> ExperimentResult:
     """§6 future work: nested-object Release Consistency (and the
     home-based scope-consistency variant) versus the COTEC/OTEC/LOTEC
     suite."""
-    workload = generate_workload(_scenario_params(scenario, scale), seed=seed)
-    series: Dict[str, Dict[str, object]] = {"data_bytes": {}, "messages": {}}
-    for protocol in FIVE_PROTOCOLS:
-        run = _run(_base_config(num_nodes, seed, protocol=protocol), workload)
-        stats = run.cluster.network_stats
-        series["data_bytes"][protocol] = stats.consistency_bytes()
-        series["messages"][protocol] = stats.total_messages
-    return ExperimentResult(
-        experiment=f"RC extension vs lazy protocols — {scenario}",
-        x_label="metric",
-        series=series,
-        meta={"scenario": scenario},
-    )
+    return _runner(runner).run_plan(plan_rc_ablation(
+        scenario, seed=seed, num_nodes=num_nodes, scale=scale,
+    ))
+
+
+def plan_object_grain_ablation(scenario: str = "medium-high", seed: int = 11,
+                               num_nodes: int = 4, scale: float = 1.0,
+                               ) -> ExperimentPlan:
+    params = _scenario_params(scenario, scale)
+    grains = ("page", "object")
+    specs = [
+        RunSpec(
+            driver=f"abl-dsd:{scenario}", key=grain,
+            config=_base_config(num_nodes, seed, protocol="lotec",
+                                transfer_grain=grain),
+            params=params, seed=seed,
+        )
+        for grain in grains
+    ]
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {
+            "data_bytes": {}, "messages": {}, "data_messages": {},
+            "mean_data_message_bytes": {},
+        }
+        for grain, m in zip(grains, measurements):
+            data_messages = m["network"]["data_messages"]
+            consistency_bytes = m["network"]["consistency_bytes"]
+            series["data_bytes"][grain] = consistency_bytes
+            series["messages"][grain] = m["network"]["total_messages"]
+            series["data_messages"][grain] = data_messages
+            series["mean_data_message_bytes"][grain] = (
+                consistency_bytes / data_messages if data_messages else 0
+            )
+        return ExperimentResult(
+            experiment=(
+                f"LOTEC transfer grain (page vs object/DSD) — {scenario}"
+            ),
+            x_label="metric",
+            series=series,
+            meta={"scenario": scenario},
+        )
+
+    return ExperimentPlan(f"abl-dsd:{scenario}", specs, collect)
 
 
 def run_object_grain_ablation(scenario: str = "medium-high", seed: int = 11,
-                              num_nodes: int = 4,
-                              scale: float = 1.0) -> ExperimentResult:
+                              num_nodes: int = 4, scale: float = 1.0,
+                              runner: Optional[ExperimentRunner] = None,
+                              ) -> ExperimentResult:
     """§4.2: page-grain vs object-grain (DSD) transfer under LOTEC —
     the false-sharing-free mode ships only object bytes, not whole
     pages."""
-    workload = generate_workload(_scenario_params(scenario, scale), seed=seed)
-    series: Dict[str, Dict[str, object]] = {
-        "data_bytes": {}, "messages": {}, "data_messages": {},
-        "mean_data_message_bytes": {},
-    }
-    for grain in ("page", "object"):
-        run = _run(
-            _base_config(num_nodes, seed, protocol="lotec",
-                         transfer_grain=grain),
-            workload,
-        )
-        stats = run.cluster.network_stats
-        data_messages = sum(
-            count
-            for category, count in stats.by_category_messages.items()
-            if category.is_consistency_data
-        )
-        series["data_bytes"][grain] = stats.consistency_bytes()
-        series["messages"][grain] = stats.total_messages
-        series["data_messages"][grain] = data_messages
-        series["mean_data_message_bytes"][grain] = (
-            stats.consistency_bytes() / data_messages if data_messages else 0
-        )
-    return ExperimentResult(
-        experiment=f"LOTEC transfer grain (page vs object/DSD) — {scenario}",
-        x_label="metric",
-        series=series,
-        meta={"scenario": scenario},
-    )
+    return _runner(runner).run_plan(plan_object_grain_ablation(
+        scenario, seed=seed, num_nodes=num_nodes, scale=scale,
+    ))
 
 
-def run_prediction_ablation(seed: int = 11, num_nodes: int = 4,
-                            scale: float = 1.0,
-                            fractions: Sequence[Tuple[float, float]] = (
-                                (0.1, 0.2), (0.2, 0.5), (0.5, 0.8), (0.9, 1.0),
-                            )) -> ExperimentResult:
-    """Design-choice ablation: how LOTEC's advantage over OTEC varies
-    with the fraction of an object each method accesses.  Methods
-    touching nearly everything erase the gap (prediction ~ whole
-    object); narrow methods widen it."""
-    series: Dict[str, Dict[str, object]] = {
-        "otec_bytes": {}, "lotec_bytes": {}, "lotec_saving": {},
-        "demand_fetches": {},
-    }
+def plan_prediction_ablation(seed: int = 11, num_nodes: int = 4,
+                             scale: float = 1.0,
+                             fractions: Sequence[Tuple[float, float]] = (
+                                 (0.1, 0.2), (0.2, 0.5), (0.5, 0.8),
+                                 (0.9, 1.0),
+                             )) -> ExperimentPlan:
+    fractions = tuple(tuple(fraction) for fraction in fractions)
+    points = []
+    specs = []
     for fraction in fractions:
         label = f"{fraction[0]:.0%}-{fraction[1]:.0%}"
         params = _scenario_params("large-high", scale)
         params = WorkloadParams(
             **{**params.__dict__, "access_fraction": fraction}
         )
-        workload = generate_workload(params, seed=seed)
-        totals = {}
         for protocol in ("otec", "lotec"):
-            run = _run(_base_config(num_nodes, seed, protocol=protocol), workload)
-            totals[protocol] = run.cluster.network_stats.consistency_bytes()
-            if protocol == "lotec":
-                series["demand_fetches"][label] = (
-                    run.cluster.prediction_stats.demand_fetches
-                )
-        series["otec_bytes"][label] = totals["otec"]
-        series["lotec_bytes"][label] = totals["lotec"]
-        series["lotec_saving"][label] = round(
-            1 - totals["lotec"] / totals["otec"], 4
+            points.append((label, protocol))
+            specs.append(RunSpec(
+                driver="abl-predict", key=f"{protocol}@{label}",
+                config=_base_config(num_nodes, seed, protocol=protocol),
+                params=params, seed=seed,
+            ))
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {
+            "otec_bytes": {}, "lotec_bytes": {}, "lotec_saving": {},
+            "demand_fetches": {},
+        }
+        by_point = dict(zip(points, measurements))
+        for fraction in fractions:
+            label = f"{fraction[0]:.0%}-{fraction[1]:.0%}"
+            totals = {
+                protocol: by_point[(label, protocol)]
+                ["network"]["consistency_bytes"]
+                for protocol in ("otec", "lotec")
+            }
+            series["demand_fetches"][label] = (
+                by_point[(label, "lotec")]["prediction"]["demand_fetches"]
+            )
+            series["otec_bytes"][label] = totals["otec"]
+            series["lotec_bytes"][label] = totals["lotec"]
+            series["lotec_saving"][label] = round(
+                1 - totals["lotec"] / totals["otec"], 4
+            )
+        return ExperimentResult(
+            experiment="LOTEC saving vs method access fraction",
+            x_label="access fraction",
+            series=series,
         )
-    return ExperimentResult(
-        experiment="LOTEC saving vs method access fraction",
-        x_label="access fraction",
-        series=series,
-    )
+
+    return ExperimentPlan("abl-predict", specs, collect)
+
+
+def run_prediction_ablation(seed: int = 11, num_nodes: int = 4,
+                            scale: float = 1.0,
+                            fractions: Sequence[Tuple[float, float]] = (
+                                (0.1, 0.2), (0.2, 0.5), (0.5, 0.8),
+                                (0.9, 1.0),
+                            ),
+                            runner: Optional[ExperimentRunner] = None,
+                            ) -> ExperimentResult:
+    """Design-choice ablation: how LOTEC's advantage over OTEC varies
+    with the fraction of an object each method accesses.  Methods
+    touching nearly everything erase the gap (prediction ~ whole
+    object); narrow methods widen it."""
+    return _runner(runner).run_plan(plan_prediction_ablation(
+        seed=seed, num_nodes=num_nodes, scale=scale, fractions=fractions,
+    ))
+
+
+def plan_gdo_cache_ablation(scenario: str = "medium-high", seed: int = 11,
+                            num_nodes: int = 4, scale: float = 1.0,
+                            ) -> ExperimentPlan:
+    params = _scenario_params(scenario, scale)
+    variants = (True, False)
+    specs = [
+        RunSpec(
+            driver=f"abl-gdocache:{scenario}",
+            key="cached" if enabled else "uncached",
+            config=_base_config(num_nodes, seed, protocol="lotec",
+                                gdo_cache_enabled=enabled),
+            params=params, seed=seed,
+        )
+        for enabled in variants
+    ]
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {
+            "lock_messages": {}, "total_messages": {}, "local_ops": {},
+            "cache_hit_rate": {},
+        }
+        for enabled, m in zip(variants, measurements):
+            label = "cached" if enabled else "uncached"
+            by_category = m["network"]["by_category"]
+            series["lock_messages"][label] = sum(
+                by_category.get(category, {}).get("messages", 0)
+                for category in ("lock_request", "lock_grant",
+                                 "lock_release")
+            )
+            series["total_messages"][label] = (
+                m["network"]["total_messages"]
+            )
+            series["local_ops"][label] = m["locks"]["local_acquisitions"]
+            series["cache_hit_rate"][label] = round(
+                m["cache"]["hit_rate"], 4
+            )
+        return ExperimentResult(
+            experiment=f"GDO holder-list caching — {scenario}",
+            x_label="metric",
+            series=series,
+            meta={"scenario": scenario},
+        )
+
+    return ExperimentPlan(f"abl-gdocache:{scenario}", specs, collect)
 
 
 def run_gdo_cache_ablation(scenario: str = "medium-high", seed: int = 11,
-                           num_nodes: int = 4,
-                           scale: float = 1.0) -> ExperimentResult:
+                           num_nodes: int = 4, scale: float = 1.0,
+                           runner: Optional[ExperimentRunner] = None,
+                           ) -> ExperimentResult:
     """Design-choice ablation: holder-list caching at the holding site
     (§4.1's local/global split) versus sending every lock operation to
     the GDO home node."""
-    workload = generate_workload(_scenario_params(scenario, scale), seed=seed)
-    series: Dict[str, Dict[str, object]] = {
-        "lock_messages": {}, "total_messages": {}, "local_ops": {},
-        "cache_hit_rate": {},
-    }
-    for enabled in (True, False):
-        label = "cached" if enabled else "uncached"
-        run = _run(
-            _base_config(num_nodes, seed, protocol="lotec",
-                         gdo_cache_enabled=enabled),
-            workload,
-        )
-        stats = run.cluster.network_stats
-        from repro.net.message import MessageCategory
+    return _runner(runner).run_plan(plan_gdo_cache_ablation(
+        scenario, seed=seed, num_nodes=num_nodes, scale=scale,
+    ))
 
-        lock_messages = sum(
-            stats.category_messages(category)
-            for category in (
-                MessageCategory.LOCK_REQUEST,
-                MessageCategory.LOCK_GRANT,
-                MessageCategory.LOCK_RELEASE,
+
+def plan_recovery_ablation(scenario: str = "medium-high", seed: int = 11,
+                           num_nodes: int = 4, scale: float = 1.0,
+                           ) -> ExperimentPlan:
+    params = _scenario_params(scenario, scale)
+    mechanisms = ("undo", "shadow")
+    specs = [
+        RunSpec(
+            driver=f"abl-recovery:{scenario}", key=recovery,
+            config=_base_config(num_nodes, seed, protocol="lotec",
+                                recovery=recovery),
+            params=params, seed=seed,
+        )
+        for recovery in mechanisms
+    ]
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {
+            "committed": {}, "sim_time_ms": {}, "data_bytes": {},
+        }
+        digests = {}
+        for recovery, m in zip(mechanisms, measurements):
+            series["committed"][recovery] = m["committed"]
+            series["sim_time_ms"][recovery] = m["sim_time"] * 1e3
+            series["data_bytes"][recovery] = (
+                m["network"]["consistency_bytes"]
             )
+            digests[recovery] = m["state_digest"]
+        return ExperimentResult(
+            experiment=(
+                f"recovery mechanism (undo log vs shadow pages) — {scenario}"
+            ),
+            x_label="metric",
+            series=series,
+            meta={"states_equal": digests["undo"] == digests["shadow"]},
         )
-        series["lock_messages"][label] = lock_messages
-        series["total_messages"][label] = stats.total_messages
-        series["local_ops"][label] = run.cluster.lock_stats.local_acquisitions
-        series["cache_hit_rate"][label] = round(
-            run.cluster.cache_stats.hit_rate, 4
-        )
-    return ExperimentResult(
-        experiment=f"GDO holder-list caching — {scenario}",
-        x_label="metric",
-        series=series,
-        meta={"scenario": scenario},
-    )
+
+    return ExperimentPlan(f"abl-recovery:{scenario}", specs, collect)
 
 
 def run_recovery_ablation(scenario: str = "medium-high", seed: int = 11,
-                          num_nodes: int = 4,
-                          scale: float = 1.0) -> ExperimentResult:
+                          num_nodes: int = 4, scale: float = 1.0,
+                          runner: Optional[ExperimentRunner] = None,
+                          ) -> ExperimentResult:
     """§4.1 offers two rollback mechanisms — "local UNDO logs or shadow
     pages".  Compare their bookkeeping volume and confirm identical
     outcomes on the same workload."""
-    workload = generate_workload(_scenario_params(scenario, scale), seed=seed)
-    series: Dict[str, Dict[str, object]] = {
-        "committed": {}, "sim_time_ms": {}, "data_bytes": {},
-    }
-    digests = {}
-    for recovery in ("undo", "shadow"):
-        run = _run(
-            _base_config(num_nodes, seed, protocol="lotec",
-                         recovery=recovery),
-            workload,
+    return _runner(runner).run_plan(plan_recovery_ablation(
+        scenario, seed=seed, num_nodes=num_nodes, scale=scale,
+    ))
+
+
+def plan_multicast_ablation(scenario: str = "medium-high", seed: int = 11,
+                            num_nodes: int = 4, scale: float = 1.0,
+                            ) -> ExperimentPlan:
+    params = _scenario_params(scenario, scale)
+    variants = (False, True)
+    specs = []
+    for multicast in variants:
+        config = _base_config(num_nodes, seed, protocol="rc")
+        config = config.with_network(
+            config.network.with_multicast(multicast)
         )
-        series["committed"][recovery] = run.committed
-        series["sim_time_ms"][recovery] = run.cluster.env.now * 1e3
-        series["data_bytes"][recovery] = (
-            run.cluster.network_stats.consistency_bytes()
+        specs.append(RunSpec(
+            driver=f"abl-multicast:{scenario}",
+            key="multicast" if multicast else "unicast",
+            config=config, params=params, seed=seed,
+        ))
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {
+            "push_bytes": {}, "push_messages": {}, "total_bytes": {},
+        }
+        for multicast, m in zip(variants, measurements):
+            label = "multicast" if multicast else "unicast"
+            pushes = m["network"]["by_category"].get("update_push", {})
+            series["push_bytes"][label] = pushes.get("bytes", 0)
+            series["push_messages"][label] = pushes.get("messages", 0)
+            series["total_bytes"][label] = m["network"]["total_bytes"]
+        return ExperimentResult(
+            experiment=(
+                f"RC update pushes, unicast vs multicast — {scenario}"
+            ),
+            x_label="metric",
+            series=series,
+            meta={"scenario": scenario},
         )
-        digests[recovery] = run.cluster.state_digest()
-    return ExperimentResult(
-        experiment=f"recovery mechanism (undo log vs shadow pages) — {scenario}",
-        x_label="metric",
-        series=series,
-        meta={"states_equal": digests["undo"] == digests["shadow"]},
-    )
+
+    return ExperimentPlan(f"abl-multicast:{scenario}", specs, collect)
 
 
 def run_multicast_ablation(scenario: str = "medium-high", seed: int = 11,
-                           num_nodes: int = 4,
-                           scale: float = 1.0) -> ExperimentResult:
+                           num_nodes: int = 4, scale: float = 1.0,
+                           runner: Optional[ExperimentRunner] = None,
+                           ) -> ExperimentResult:
     """§6: "the use of multicast-capable networks" — eager RC pushes
     collapse from one unicast per replica to a single transmission."""
-    workload = generate_workload(_scenario_params(scenario, scale), seed=seed)
-    series: Dict[str, Dict[str, object]] = {
-        "push_bytes": {}, "push_messages": {}, "total_bytes": {},
-    }
-    from repro.net.message import MessageCategory
+    return _runner(runner).run_plan(plan_multicast_ablation(
+        scenario, seed=seed, num_nodes=num_nodes, scale=scale,
+    ))
 
-    for multicast in (False, True):
-        label = "multicast" if multicast else "unicast"
-        config = _base_config(num_nodes, seed, protocol="rc")
-        config = config.with_network(config.network.with_multicast(multicast))
-        run = _run(config, workload)
-        stats = run.cluster.network_stats
-        series["push_bytes"][label] = stats.category_bytes(
-            MessageCategory.UPDATE_PUSH
-        )
-        series["push_messages"][label] = stats.category_messages(
-            MessageCategory.UPDATE_PUSH
-        )
-        series["total_bytes"][label] = stats.total_bytes
-    return ExperimentResult(
-        experiment=f"RC update pushes, unicast vs multicast — {scenario}",
-        x_label="metric",
-        series=series,
-        meta={"scenario": scenario},
+
+def plan_prefetch_ablation(seed: int = 11, num_nodes: int = 4,
+                           scale: float = 1.0,
+                           software_cost: str = "100us") -> ExperimentPlan:
+    params = WorkloadParams(
+        num_objects=60, num_classes=4, num_roots=max(6, int(30 * scale)),
+        pages_min=1, pages_max=3, max_depth=3, mean_branch=3.0,
+        skew=0.0, mean_interarrival_s=0.001,
     )
+    network = preset_network("100Mbps", software_cost)
+    modes = ("off", "locks", "locks+pages")
+    specs = [
+        RunSpec(
+            driver=f"abl-prefetch:{software_cost}", key=mode,
+            config=_base_config(num_nodes, seed, protocol="lotec",
+                                prefetch=mode, network=network),
+            params=params, seed=seed,
+        )
+        for mode in modes
+    ]
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {
+            "mean_latency_us": {}, "messages": {}, "prefetch_granted": {},
+            "prefetch_denied": {}, "deadlocks": {},
+        }
+        for mode, m in zip(modes, measurements):
+            series["mean_latency_us"][mode] = (
+                m["txn"]["mean_latency"] * 1e6
+            )
+            series["messages"][mode] = m["network"]["total_messages"]
+            series["prefetch_granted"][mode] = (
+                m["locks"]["prefetch_granted"]
+            )
+            series["prefetch_denied"][mode] = m["locks"]["prefetch_denied"]
+            series["deadlocks"][mode] = m["locks"]["deadlocks"]
+        return ExperimentResult(
+            experiment="optimistic pre-acquisition / prefetch "
+                       "(low contention)",
+            x_label="metric",
+            series=series,
+        )
+
+    return ExperimentPlan(f"abl-prefetch:{software_cost}", specs, collect)
 
 
 def run_prefetch_ablation(seed: int = 11, num_nodes: int = 4,
                           scale: float = 1.0,
-                          software_cost: str = "100us") -> ExperimentResult:
+                          software_cost: str = "100us",
+                          runner: Optional[ExperimentRunner] = None,
+                          ) -> ExperimentResult:
     """§5.1/§6: optimistic pre-acquisition and object prefetching
     "effectively hides the latency of remote lock acquisition".
 
     Run a low-contention, deeply nested workload (prefetch's favourable
     regime: many lock round trips, few conflicts) and report mean root
     latency against message cost for each prefetch mode."""
-    params = WorkloadParams(
-        num_objects=60, num_classes=4, num_roots=max(6, int(30 * scale)),
-        pages_min=1, pages_max=3, max_depth=3, mean_branch=3.0,
-        skew=0.0, mean_interarrival_s=0.001,
-    )
-    workload = generate_workload(params, seed=seed)
-    network = preset_network("100Mbps", software_cost)
-    series: Dict[str, Dict[str, object]] = {
-        "mean_latency_us": {}, "messages": {}, "prefetch_granted": {},
-        "prefetch_denied": {}, "deadlocks": {},
-    }
-    for mode in ("off", "locks", "locks+pages"):
-        run = _run(
-            _base_config(num_nodes, seed, protocol="lotec",
-                         prefetch=mode, network=network),
-            workload,
-        )
-        cluster = run.cluster
-        series["mean_latency_us"][mode] = (
-            cluster.txn_stats.mean_latency * 1e6
-        )
-        series["messages"][mode] = cluster.network_stats.total_messages
-        series["prefetch_granted"][mode] = cluster.lock_stats.prefetch_granted
-        series["prefetch_denied"][mode] = cluster.lock_stats.prefetch_denied
-        series["deadlocks"][mode] = cluster.lock_stats.deadlocks
-    return ExperimentResult(
-        experiment="optimistic pre-acquisition / prefetch (low contention)",
-        x_label="metric",
-        series=series,
-    )
+    return _runner(runner).run_plan(plan_prefetch_ablation(
+        seed=seed, num_nodes=num_nodes, scale=scale,
+        software_cost=software_cost,
+    ))
 
 
-def run_per_class_ablation(scenario: str = "medium-high", seed: int = 11,
-                           num_nodes: int = 4,
-                           scale: float = 1.0) -> ExperimentResult:
-    """§6: per-class consistency protocols.  Put the single hottest
-    class on RC (its updates push eagerly to readers) while the rest
-    stay on LOTEC, and compare against the pure configurations."""
+def plan_per_class_ablation(scenario: str = "medium-high", seed: int = 11,
+                            num_nodes: int = 4, scale: float = 1.0,
+                            ) -> ExperimentPlan:
     params = _scenario_params(scenario, scale)
+    # Workload generation is deterministic and cheap relative to a run,
+    # so the plan builder regenerates it locally to learn class names.
     workload = generate_workload(params, seed=seed)
     hottest_class = workload.classes[0].schema.name
     configurations = {
@@ -504,40 +805,68 @@ def run_per_class_ablation(scenario: str = "medium-high", seed: int = 11,
             (info.schema.name, "rc") for info in workload.classes
         ),
     }
-    series: Dict[str, Dict[str, object]] = {"data_bytes": {}, "messages": {}}
-    for label, class_protocols in configurations.items():
-        run = _run(
-            _base_config(num_nodes, seed, protocol="lotec",
-                         class_protocols=class_protocols),
-            workload,
+    specs = [
+        RunSpec(
+            driver=f"abl-perclass:{scenario}", key=label,
+            config=_base_config(num_nodes, seed, protocol="lotec",
+                                class_protocols=class_protocols),
+            params=params, seed=seed,
         )
-        stats = run.cluster.network_stats
-        series["data_bytes"][label] = stats.consistency_bytes()
-        series["messages"][label] = stats.total_messages
-    return ExperimentResult(
-        experiment=f"per-class protocol mix (hot class on RC) — {scenario}",
-        x_label="metric",
-        series=series,
-        meta={"hot_class": hottest_class},
-    )
+        for label, class_protocols in configurations.items()
+    ]
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {
+            "data_bytes": {}, "messages": {},
+        }
+        for label, m in zip(configurations, measurements):
+            series["data_bytes"][label] = (
+                m["network"]["consistency_bytes"]
+            )
+            series["messages"][label] = m["network"]["total_messages"]
+        return ExperimentResult(
+            experiment=(
+                f"per-class protocol mix (hot class on RC) — {scenario}"
+            ),
+            x_label="metric",
+            series=series,
+            meta={"hot_class": hottest_class},
+        )
+
+    return ExperimentPlan(f"abl-perclass:{scenario}", specs, collect)
 
 
-def run_aggregation_ablation(seed: int = 11, num_nodes: int = 4,
-                             scale: float = 1.0,
-                             group_size: int = 8,
-                             num_groups: int = 8) -> ExperimentResult:
-    """§5.1: "Heavily object-based environments can sometimes aggregate
-    related small objects into larger objects for the purpose of
-    decreasing the cost of concurrency control and consistency
-    maintenance."
+def run_per_class_ablation(scenario: str = "medium-high", seed: int = 11,
+                           num_nodes: int = 4, scale: float = 1.0,
+                           runner: Optional[ExperimentRunner] = None,
+                           ) -> ExperimentResult:
+    """§6: per-class consistency protocols.  Put the single hottest
+    class on RC (its updates push eagerly to readers) while the rest
+    stay on LOTEC, and compare against the pure configurations."""
+    return _runner(runner).run_plan(plan_per_class_ablation(
+        scenario, seed=seed, num_nodes=num_nodes, scale=scale,
+    ))
 
-    The same logical work — bump every element of a group — is run
-    twice: against ``group_size`` separate single-attribute objects
-    (one lock acquisition per element, per §5.1 "the larger objects
-    are, the fewer lock operations are necessary") and against one
-    aggregated object holding the group as an array."""
+
+# ---------------------------------------------------------------------------
+# §5.1 aggregation ablation (drives clusters directly; no generated
+# workload, so it runs through a registered builder)
+# ---------------------------------------------------------------------------
+
+@register_builder("aggregation")
+def _aggregation_run(config: ClusterConfig,
+                     args: Dict[str, object]) -> Dict[str, object]:
+    """One granularity variant of the aggregation experiment: the same
+    logical work — bump every element of a group — against either
+    ``group_size`` separate single-attribute objects ("fine") or one
+    aggregated object holding the group as an array ("coarse")."""
     from repro import Array, Attr, method, shared_class
-    from repro.net.message import MessageCategory
+
+    variant = args["variant"]
+    group_size = args["group_size"]
+    num_groups = args["num_groups"]
+    rounds = args["rounds"]
+    num_nodes = config.num_nodes
 
     @shared_class
     class FineItem:
@@ -560,95 +889,203 @@ def run_aggregation_ablation(seed: int = 11, num_nodes: int = 4,
             self.runs += 1
             return total
 
-    class _CompositeFactory:
-        """Composite class must be built per group size."""
+    @shared_class
+    class Composite:
+        values = Array(size=256, count=group_size, default=0)
+        runs = Attr(size=8, default=0)
 
-        @staticmethod
-        def build(count):
-            @shared_class
-            class Composite:
-                values = Array(size=256, count=count, default=0)
-                runs = Attr(size=8, default=0)
+        @method
+        def bump_all(self, ctx, amount):
+            total = 0
+            for index in range(len(self.values)):
+                self.values[index] += amount
+                total += self.values[index]
+            self.runs += 1
+            return total
 
-                @method
-                def bump_all(self, ctx, amount):
-                    total = 0
-                    for index in range(len(self.values)):
-                        self.values[index] += amount
-                        total += self.values[index]
-                    self.runs += 1
-                    return total
+    cluster = Cluster(config)
+    if variant == "fine":
+        # Fine granularity: one object per element.
+        tasks = [cluster.create(GroupTask) for _ in range(num_groups)]
+        groups = [
+            tuple(cluster.create(FineItem) for _ in range(group_size))
+            for _ in range(num_groups)
+        ]
+        for round_index in range(rounds):
+            for group_index in range(num_groups):
+                # Rotate the executing node each round so lock
+                # ownership genuinely moves between sites.
+                node = cluster.nodes[
+                    (group_index + round_index) % num_nodes
+                ]
+                cluster.submit(
+                    tasks[group_index], "touch_group",
+                    groups[group_index], round_index,
+                    node=node, delay=round_index * 0.001,
+                )
+        cluster.run()
+        state_sum = sum(
+            cluster.read_attr(item, "value")
+            for group in groups for item in group
+        )
+    elif variant == "coarse":
+        # Coarse granularity: the group aggregated into one object.
+        composites = [
+            cluster.create(Composite) for _ in range(num_groups)
+        ]
+        for round_index in range(rounds):
+            for composite_index, composite in enumerate(composites):
+                node = cluster.nodes[
+                    (composite_index + round_index) % num_nodes
+                ]
+                cluster.submit(composite, "bump_all", round_index,
+                               node=node, delay=round_index * 0.001)
+        cluster.run()
+        state_sum = sum(
+            sum(cluster.read_attr(composite, "values"))
+            for composite in composites
+        )
+    else:
+        raise ValueError(f"unknown aggregation variant {variant!r}")
+    measurement = cluster_measurement(cluster)
+    measurement["state_sum"] = state_sum
+    return measurement
 
-            return Composite
 
-    Composite = _CompositeFactory.build(group_size)
+def plan_aggregation_ablation(seed: int = 11, num_nodes: int = 4,
+                              scale: float = 1.0,
+                              group_size: int = 8,
+                              num_groups: int = 8) -> ExperimentPlan:
     rounds = max(2, int(12 * scale))
-    series: Dict[str, Dict[str, object]] = {
-        "global_lock_ops": {}, "lock_messages": {}, "total_messages": {},
-        "data_bytes": {},
-    }
-
-    def record(label, cluster):
-        stats = cluster.network_stats
-        series["global_lock_ops"][label] = (
-            cluster.lock_stats.global_acquisitions
+    variants = ("fine", "coarse")
+    specs = [
+        RunSpec(
+            driver="abl-aggregate", key=variant,
+            config=_base_config(num_nodes, seed, protocol="lotec"),
+            seed=seed,
+            builder="aggregation",
+            builder_args=(
+                ("variant", variant), ("group_size", group_size),
+                ("num_groups", num_groups), ("rounds", rounds),
+            ),
         )
-        series["lock_messages"][label] = sum(
-            stats.category_messages(category)
-            for category in (
-                MessageCategory.LOCK_REQUEST,
-                MessageCategory.LOCK_GRANT,
-                MessageCategory.LOCK_RELEASE,
-            )
-        )
-        series["total_messages"][label] = stats.total_messages
-        series["data_bytes"][label] = stats.consistency_bytes()
-
-    # Fine granularity: one object per element.
-    fine = Cluster(_base_config(num_nodes, seed, protocol="lotec"))
-    tasks = [fine.create(GroupTask) for _ in range(num_groups)]
-    groups = [
-        tuple(fine.create(FineItem) for _ in range(group_size))
-        for _ in range(num_groups)
+        for variant in variants
     ]
-    for round_index in range(rounds):
-        for group_index in range(num_groups):
-            # Rotate the executing node each round so lock ownership
-            # genuinely moves between sites.
-            node = fine.nodes[(group_index + round_index) % num_nodes]
-            fine.submit(
-                tasks[group_index], "touch_group",
-                groups[group_index], round_index,
-                node=node, delay=round_index * 0.001,
-            )
-    fine.run()
-    record("fine", fine)
 
-    # Coarse granularity: the group aggregated into one object.
-    coarse = Cluster(_base_config(num_nodes, seed, protocol="lotec"))
-    composites = [coarse.create(Composite) for _ in range(num_groups)]
-    for round_index in range(rounds):
-        for composite_index, composite in enumerate(composites):
-            node = coarse.nodes[(composite_index + round_index) % num_nodes]
-            coarse.submit(composite, "bump_all", round_index,
-                          node=node, delay=round_index * 0.001)
-    coarse.run()
-    record("coarse", coarse)
-    return ExperimentResult(
-        experiment=(
-            f"object aggregation ({num_groups} groups x {group_size} "
-            f"elements, {rounds} rounds)"
-        ),
-        x_label="metric",
-        series=series,
-        meta={
-            "fine_state_sum": sum(
-                fine.read_attr(item, "value")
-                for group in groups for item in group
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        series: Dict[str, Dict[str, object]] = {
+            "global_lock_ops": {}, "lock_messages": {},
+            "total_messages": {}, "data_bytes": {},
+        }
+        state_sums = {}
+        for variant, m in zip(variants, measurements):
+            by_category = m["network"]["by_category"]
+            series["global_lock_ops"][variant] = (
+                m["locks"]["global_acquisitions"]
+            )
+            series["lock_messages"][variant] = sum(
+                by_category.get(category, {}).get("messages", 0)
+                for category in ("lock_request", "lock_grant",
+                                 "lock_release")
+            )
+            series["total_messages"][variant] = (
+                m["network"]["total_messages"]
+            )
+            series["data_bytes"][variant] = (
+                m["network"]["consistency_bytes"]
+            )
+            state_sums[variant] = m["state_sum"]
+        return ExperimentResult(
+            experiment=(
+                f"object aggregation ({num_groups} groups x {group_size} "
+                f"elements, {rounds} rounds)"
             ),
-            "coarse_state_sum": sum(
-                sum(coarse.read_attr(composite, "values"))
-                for composite in composites
-            ),
-        },
-    )
+            x_label="metric",
+            series=series,
+            meta={
+                "fine_state_sum": state_sums["fine"],
+                "coarse_state_sum": state_sums["coarse"],
+            },
+        )
+
+    return ExperimentPlan("abl-aggregate", specs, collect)
+
+
+def run_aggregation_ablation(seed: int = 11, num_nodes: int = 4,
+                             scale: float = 1.0,
+                             group_size: int = 8,
+                             num_groups: int = 8,
+                             runner: Optional[ExperimentRunner] = None,
+                             ) -> ExperimentResult:
+    """§5.1: "Heavily object-based environments can sometimes aggregate
+    related small objects into larger objects for the purpose of
+    decreasing the cost of concurrency control and consistency
+    maintenance."
+
+    The same logical work — bump every element of a group — is run
+    twice: against ``group_size`` separate single-attribute objects
+    (one lock acquisition per element, per §5.1 "the larger objects
+    are, the fewer lock operations are necessary") and against one
+    aggregated object holding the group as an array."""
+    return _runner(runner).run_plan(plan_aggregation_ablation(
+        seed=seed, num_nodes=num_nodes, scale=scale,
+        group_size=group_size, num_groups=num_groups,
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Experiment registry (the CLI's experiment ids)
+# ---------------------------------------------------------------------------
+
+PLAN_BUILDERS: Dict[str, Callable[..., ExperimentPlan]] = {
+    "fig2": lambda **kw: plan_bytes_figure("medium-high", **kw),
+    "fig3": lambda **kw: plan_bytes_figure("large-high", **kw),
+    "fig4": lambda **kw: plan_bytes_figure("medium-moderate", **kw),
+    "fig5": lambda **kw: plan_bytes_figure("large-moderate", **kw),
+    "fig6": lambda **kw: plan_time_figure("10Mbps", **kw),
+    "fig7": lambda **kw: plan_time_figure("100Mbps", **kw),
+    "fig8": lambda **kw: plan_time_figure("1Gbps", **kw),
+    "tab-speedup": plan_claims_reduction,
+    "msg-count": plan_claims_messages,
+    "abl-rc": plan_rc_ablation,
+    "abl-dsd": plan_object_grain_ablation,
+    "abl-predict": plan_prediction_ablation,
+    "abl-gdocache": plan_gdo_cache_ablation,
+    "abl-aggregate": plan_aggregation_ablation,
+    "abl-recovery": plan_recovery_ablation,
+    "abl-multicast": plan_multicast_ablation,
+    "abl-prefetch": plan_prefetch_ablation,
+    "abl-perclass": plan_per_class_ablation,
+}
+
+
+def build_plan(experiment_id: str, **kwargs) -> ExperimentPlan:
+    """The plan for one registered experiment id (``fig2`` ...
+    ``abl-perclass``); keyword arguments reach the plan builder."""
+    try:
+        builder = PLAN_BUILDERS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(PLAN_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)
+
+
+def _registry_driver(experiment_id: str) -> Callable[..., ExperimentResult]:
+    def drive(runner: Optional[ExperimentRunner] = None,
+              **kwargs) -> ExperimentResult:
+        return _runner(runner).run_plan(build_plan(experiment_id, **kwargs))
+
+    drive.__name__ = f"run_{experiment_id.replace('-', '_')}"
+    drive.__doc__ = f"Regenerate experiment {experiment_id!r}."
+    return drive
+
+
+#: Experiment id -> driver callable (the CLI's dispatch table).  Every
+#: driver accepts ``seed``/``scale``/``num_nodes`` plus an optional
+#: ``runner`` for parallel/cached execution.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    experiment_id: _registry_driver(experiment_id)
+    for experiment_id in PLAN_BUILDERS
+}

@@ -51,6 +51,24 @@ def format_series_table(title: str, x_label: str,
     return f"{title}\n{format_table(headers, rows)}"
 
 
+def format_bench_summary(entries: Sequence[Dict[str, object]]) -> str:
+    """Per-experiment summary table for ``repro bench``: one row per
+    experiment with its cluster-run count, cache hits, and the result
+    file written."""
+    rows = [
+        [
+            entry["experiment"],
+            entry["runs"],
+            entry["cache_hits"],
+            entry["path"],
+        ]
+        for entry in entries
+    ]
+    return format_table(
+        ["experiment", "runs", "cache hits", "result"], rows
+    )
+
+
 def format_bar_chart(title: str, series: Dict[str, Dict[str, object]],
                      width: int = 48) -> str:
     """Horizontal ASCII bars, grouped like the paper's bar charts.

@@ -4,16 +4,26 @@ Commands:
 
 * ``experiment <id>`` — regenerate one paper artifact (``fig2`` …
   ``fig8``, ``tab-speedup``, ``msg-count``, or an ablation id from
-  DESIGN.md §3) and print the series table; ``--json`` writes the raw
-  result for downstream plotting.
+  DESIGN.md §3) and print it as a table, ASCII chart, or JSON
+  (``--format table|chart|json``); ``--out`` writes the versioned JSON
+  result for downstream plotting, ``--jobs N`` fans the per-
+  configuration cluster runs out over a process pool, and completed
+  runs are memoized under ``.repro-cache/`` (``--no-cache`` to skip).
+* ``bench [ids…]`` — run many experiments at once (default: all of
+  them) through the same pool and cache, writing one
+  ``BENCH_<id>.json`` per experiment.
 * ``compare`` — run one workload scenario under all four protocols and
-  print the side-by-side summary.
+  print the side-by-side summary (same ``--format``/``--out`` surface
+  as ``experiment``).
 * ``trace`` — run one scenario with the :mod:`repro.obs` tracer on and
   write the trace artifacts (JSONL event log + Chrome ``trace_event``
   JSON loadable in Perfetto / ``chrome://tracing``) plus a metrics
   summary.
 * ``list`` — show available experiment ids and scenarios.
 * ``version`` (or ``--version``) — print the package version.
+
+``--chart`` and ``--json PATH`` remain as deprecated aliases for
+``--format chart`` and ``--out PATH``.
 """
 
 from __future__ import annotations
@@ -22,24 +32,16 @@ import argparse
 import json
 import os
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.bench import (
+    DEFAULT_CACHE_DIR,
+    EXPERIMENTS,
     ExperimentResult,
-    run_aggregation_ablation,
+    ExperimentRunner,
+    ResultCache,
+    format_bench_summary,
     format_table,
-    run_bytes_figure,
-    run_claims_messages,
-    run_claims_reduction,
-    run_gdo_cache_ablation,
-    run_multicast_ablation,
-    run_object_grain_ablation,
-    run_per_class_ablation,
-    run_prediction_ablation,
-    run_prefetch_ablation,
-    run_rc_ablation,
-    run_recovery_ablation,
-    run_time_figure,
 )
 from repro.obs import render_summary, write_chrome_trace, write_jsonl
 from repro.runtime.cluster import Cluster
@@ -48,32 +50,56 @@ from repro.workload.generator import generate_workload
 from repro.workload.params import SCENARIOS
 from repro.workload.runner import run_workload
 
-EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "fig2": lambda **kw: run_bytes_figure("medium-high", **kw),
-    "fig3": lambda **kw: run_bytes_figure("large-high", **kw),
-    "fig4": lambda **kw: run_bytes_figure("medium-moderate", **kw),
-    "fig5": lambda **kw: run_bytes_figure("large-moderate", **kw),
-    "fig6": lambda **kw: run_time_figure("10Mbps", **kw),
-    "fig7": lambda **kw: run_time_figure("100Mbps", **kw),
-    "fig8": lambda **kw: run_time_figure("1Gbps", **kw),
-    "tab-speedup": run_claims_reduction,
-    "msg-count": run_claims_messages,
-    "abl-rc": run_rc_ablation,
-    "abl-dsd": run_object_grain_ablation,
-    "abl-predict": run_prediction_ablation,
-    "abl-gdocache": run_gdo_cache_ablation,
-    "abl-aggregate": run_aggregation_ablation,
-    "abl-recovery": run_recovery_ablation,
-    "abl-multicast": run_multicast_ablation,
-    "abl-prefetch": run_prefetch_ablation,
-    "abl-perclass": run_per_class_ablation,
-}
+OUTPUT_FORMATS = ("table", "chart", "json")
 
 
 def _package_version() -> str:
     from repro import __version__
 
     return __version__
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser,
+                       default_scale: float = 1.0) -> None:
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--scale", type=float, default=default_scale,
+                        help="workload size factor (1.0 = full)")
+    parser.add_argument("--nodes", type=int, default=4)
+
+
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format", choices=OUTPUT_FORMATS, default=None,
+        help="stdout rendering: table (default), chart, or json",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="also write the result as versioned JSON",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="(deprecated) same as --format chart",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="(deprecated) same as --out PATH",
+    )
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the per-configuration runs "
+             "(default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always execute; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -89,31 +115,38 @@ def _build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp.add_argument("id", choices=sorted(EXPERIMENTS))
-    exp.add_argument("--seed", type=int, default=11)
-    exp.add_argument("--scale", type=float, default=1.0,
-                     help="workload size factor (1.0 = full)")
-    exp.add_argument("--nodes", type=int, default=4)
-    exp.add_argument("--json", metavar="PATH",
-                     help="also write the result as JSON")
-    exp.add_argument("--chart", action="store_true",
-                     help="render ASCII bars instead of a table")
+    _add_run_arguments(exp)
+    _add_output_arguments(exp)
+    _add_runner_arguments(exp)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run many experiments at once; write one BENCH_<id>.json each",
+    )
+    bench.add_argument(
+        "ids", nargs="*", metavar="id",
+        help="experiment ids to run (default: every registered experiment)",
+    )
+    _add_run_arguments(bench)
+    _add_runner_arguments(bench)
+    bench.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="directory for the BENCH_<id>.json files (default: .)",
+    )
 
     cmp_parser = sub.add_parser(
         "compare", help="run a scenario under all protocols"
     )
     cmp_parser.add_argument("--scenario", choices=sorted(SCENARIOS),
                             default="medium-high")
-    cmp_parser.add_argument("--seed", type=int, default=11)
-    cmp_parser.add_argument("--scale", type=float, default=0.5)
-    cmp_parser.add_argument("--nodes", type=int, default=4)
+    _add_run_arguments(cmp_parser, default_scale=0.5)
+    _add_output_arguments(cmp_parser)
 
     trace = sub.add_parser(
         "trace", help="run a scenario with tracing on; write artifacts"
     )
     trace.add_argument("scenario", choices=sorted(SCENARIOS))
-    trace.add_argument("--seed", type=int, default=11)
-    trace.add_argument("--scale", type=float, default=0.5)
-    trace.add_argument("--nodes", type=int, default=4)
+    _add_run_arguments(trace, default_scale=0.5)
     trace.add_argument("--protocol", default="lotec",
                        choices=("cotec", "otec", "lotec", "rc"))
     trace.add_argument("--out", default="trace-out", metavar="DIR",
@@ -124,65 +157,144 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _result_to_json(result: ExperimentResult) -> Dict:
-    return {
-        "experiment": result.experiment,
-        "x_label": result.x_label,
-        "series": result.series,
-        "meta": {
-            key: value
-            for key, value in result.meta.items()
-            if _json_safe(value)
-        },
-    }
+def _deprecation(message: str) -> None:
+    print(f"warning: {message}", file=sys.stderr)
 
 
-def _json_safe(value) -> bool:
-    try:
-        json.dumps(value)
-        return True
-    except TypeError:
-        return False
+def _resolve_output(args) -> str:
+    """Fold the deprecated ``--chart``/``--json`` aliases into the
+    unified ``--format``/``--out`` pair, warning once per alias."""
+    output_format = args.format
+    if args.chart:
+        _deprecation("--chart is deprecated; use --format chart")
+        if output_format is None:
+            output_format = "chart"
+    if args.json:
+        _deprecation("--json PATH is deprecated; use --out PATH")
+        if args.out is None:
+            args.out = args.json
+    return output_format or "table"
+
+
+def _render(result: ExperimentResult, output_format: str) -> str:
+    if output_format == "chart":
+        return result.render_chart()
+    if output_format == "json":
+        return json.dumps(result.to_json(), indent=2)
+    return result.render()
+
+
+def _write_result(result: ExperimentResult, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_json(), handle, indent=2)
+        handle.write("\n")
+
+
+def _make_runner(args) -> ExperimentRunner:
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    return ExperimentRunner(jobs=args.jobs, cache=cache)
 
 
 def _cmd_experiment(args) -> int:
-    driver = EXPERIMENTS[args.id]
-    result = driver(seed=args.seed, scale=args.scale, num_nodes=args.nodes)
-    print(result.render_chart() if args.chart else result.render())
-    if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(_result_to_json(result), handle, indent=2)
-        print(f"\nwrote {args.json}")
+    output_format = _resolve_output(args)
+    runner = _make_runner(args)
+    result = runner.run(args.id, seed=args.seed, scale=args.scale,
+                        num_nodes=args.nodes)
+    print(_render(result, output_format))
+    if args.out:
+        _write_result(result, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    ids = args.ids or sorted(EXPERIMENTS)
+    unknown = [eid for eid in ids if eid not in EXPERIMENTS]
+    if unknown:
+        print(f"error: unknown experiment ids {unknown}; "
+              f"choose from {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    try:
+        os.makedirs(args.out_dir, exist_ok=True)
+    except (FileExistsError, NotADirectoryError):
+        print(f"error: --out-dir {args.out_dir!r} exists and is not a "
+              f"directory", file=sys.stderr)
+        return 2
+    runner = _make_runner(args)
+    results = runner.run_many(ids, seed=args.seed, scale=args.scale,
+                              num_nodes=args.nodes)
+    entries = []
+    cache = runner.cache
+    for eid, result in results.items():
+        path = os.path.join(args.out_dir, f"BENCH_{eid}.json")
+        _write_result(result, path)
+        entries.append({
+            "experiment": eid,
+            "runs": runner.last_plan_sizes.get(eid, 0),
+            "cache_hits": runner.last_plan_hits.get(eid, 0),
+            "path": path,
+        })
+    print(format_bench_summary(entries))
+    stats = runner.last_stats
+    cache_note = (
+        "cache disabled" if cache is None
+        else f"{stats.cache_hits} from cache ({cache.root})"
+    )
+    print(f"\n{stats.runs} cluster runs: {stats.executed} executed "
+          f"(jobs={args.jobs}), {cache_note}")
     return 0
 
 
 def _cmd_compare(args) -> int:
+    output_format = _resolve_output(args)
     params = SCENARIOS[args.scenario].scaled(args.scale)
     workload = generate_workload(params, seed=args.seed)
-    rows = []
-    for protocol in ("cotec", "otec", "lotec", "rc"):
+    protocols = ("cotec", "otec", "lotec", "rc")
+    metrics = ("committed", "failed", "data_bytes", "messages",
+               "mean_latency_us", "deadlocks")
+    series: Dict[str, Dict[str, object]] = {
+        metric: {} for metric in metrics
+    }
+    for protocol in protocols:
         cluster = Cluster(ClusterConfig(
             num_nodes=args.nodes, protocol=protocol, seed=args.seed,
             audit_accesses=False,
         ))
         run = run_workload(cluster, workload)
+        summary = run.summary()
         stats = cluster.network_stats
-        rows.append([
-            protocol,
-            run.committed,
-            run.failed,
-            stats.consistency_bytes(),
-            stats.total_messages,
-            round(cluster.txn_stats.mean_latency * 1e6),
-            cluster.lock_stats.deadlocks,
-        ])
-    print(f"scenario {args.scenario} (seed {args.seed}, "
-          f"scale {args.scale}, {args.nodes} nodes)\n")
-    print(format_table(
-        ["protocol", "committed", "failed", "data bytes", "messages",
-         "mean latency (us)", "deadlocks"],
-        rows,
-    ))
+        series["committed"][protocol] = summary["committed"]
+        series["failed"][protocol] = summary["failed"]
+        series["data_bytes"][protocol] = stats.consistency_bytes()
+        series["messages"][protocol] = stats.total_messages
+        series["mean_latency_us"][protocol] = round(
+            cluster.txn_stats.mean_latency * 1e6
+        )
+        series["deadlocks"][protocol] = summary["deadlocks"]
+    result = ExperimentResult(
+        experiment=f"protocol comparison — {args.scenario}",
+        x_label="protocol",
+        series=series,
+        meta={"scenario": args.scenario, "seed": args.seed,
+              "scale": args.scale, "nodes": args.nodes},
+    )
+    if output_format == "table":
+        # The classic side-by-side layout: one row per protocol.
+        print(f"scenario {args.scenario} (seed {args.seed}, "
+              f"scale {args.scale}, {args.nodes} nodes)\n")
+        print(format_table(
+            ["protocol", "committed", "failed", "data bytes", "messages",
+             "mean latency (us)", "deadlocks"],
+            [
+                [protocol] + [series[metric][protocol] for metric in metrics]
+                for protocol in protocols
+            ],
+        ))
+    else:
+        print(_render(result, output_format))
+    if args.out:
+        _write_result(result, args.out)
+        print(f"\nwrote {args.out}")
     return 0
 
 
@@ -233,6 +345,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "experiment": _cmd_experiment,
+        "bench": _cmd_bench,
         "compare": _cmd_compare,
         "trace": _cmd_trace,
         "list": _cmd_list,

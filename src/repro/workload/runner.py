@@ -31,10 +31,16 @@ class WorkloadRun:
         return self.cluster.txn_stats.commits
 
     def summary(self) -> Dict[str, object]:
+        """Everything needed to identify and compare this run from the
+        summary alone — including the seed it was generated from and
+        the deadlock count (consumers like ``repro compare`` should not
+        have to reach into ``cluster.lock_stats``)."""
         return {
             "protocol": self.cluster.config.protocol,
+            "seed": self.cluster.config.seed,
             "committed": self.committed,
             "failed": self.failed,
+            "deadlocks": self.cluster.lock_stats.deadlocks,
             "sim_time": self.cluster.env.now,
             **self.cluster.stats_summary(),
         }

@@ -18,20 +18,42 @@ class TestList:
 
 class TestExperiment:
     def test_runs_and_prints_table(self, capsys):
-        code = main(["experiment", "abl-gdocache",
+        code = main(["experiment", "abl-gdocache", "--no-cache",
                      "--scale", "0.1", "--seed", "2", "--nodes", "3"])
         assert code == 0
         out = capsys.readouterr().out
         assert "cached" in out and "uncached" in out
 
-    def test_json_export(self, tmp_path, capsys):
+    def test_out_writes_versioned_json(self, tmp_path, capsys):
         target = tmp_path / "result.json"
-        code = main(["experiment", "msg-count", "--scale", "0.1",
-                     "--seed", "2", "--json", str(target)])
+        code = main(["experiment", "msg-count", "--no-cache",
+                     "--scale", "0.1", "--seed", "2",
+                     "--out", str(target)])
         assert code == 0
         data = json.loads(target.read_text())
+        assert data["schema"] == 1
         assert data["x_label"] == "metric"
         assert set(data["series"]["messages"]) == {"cotec", "otec", "lotec"}
+
+    def test_deprecated_json_alias_still_writes(self, tmp_path, capsys):
+        target = tmp_path / "result.json"
+        code = main(["experiment", "msg-count", "--no-cache",
+                     "--scale", "0.1", "--seed", "2", "--json", str(target)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "--json" in err and "deprecated" in err
+        data = json.loads(target.read_text())
+        assert set(data["series"]["messages"]) == {"cotec", "otec", "lotec"}
+
+    def test_cache_round_trip(self, tmp_path, capsys):
+        argv = ["experiment", "abl-gdocache", "--scale", "0.1",
+                "--seed", "2", "--nodes", "3",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "cache").is_dir()
+        assert main(argv) == 0          # second run served from cache
+        assert capsys.readouterr().out == first
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
@@ -142,13 +164,84 @@ class TestTrace:
             main(["trace", "tiny-high"])
 
 
-class TestChartFlag:
-    def test_chart_rendering(self, capsys):
-        code = main(["experiment", "abl-gdocache", "--scale", "0.08",
-                     "--seed", "2", "--nodes", "3", "--chart"])
+class TestOutputFormats:
+    def test_format_chart(self, capsys):
+        code = main(["experiment", "abl-gdocache", "--no-cache",
+                     "--scale", "0.08", "--seed", "2", "--nodes", "3",
+                     "--format", "chart"])
         assert code == 0
         out = capsys.readouterr().out
         assert "|" in out and "#" in out
+
+    def test_format_json_on_stdout(self, capsys):
+        code = main(["experiment", "abl-gdocache", "--no-cache",
+                     "--scale", "0.08", "--seed", "2", "--nodes", "3",
+                     "--format", "json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == 1
+        assert "series" in data
+
+    def test_deprecated_chart_alias(self, capsys):
+        code = main(["experiment", "abl-gdocache", "--no-cache",
+                     "--scale", "0.08", "--seed", "2", "--nodes", "3",
+                     "--chart"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "|" in captured.out and "#" in captured.out
+        assert "--chart" in captured.err and "deprecated" in captured.err
+
+    def test_explicit_format_wins_over_alias(self, capsys):
+        code = main(["experiment", "abl-gdocache", "--no-cache",
+                     "--scale", "0.08", "--seed", "2", "--nodes", "3",
+                     "--format", "json", "--chart"])
+        assert code == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_compare_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "compare.json"
+        code = main(["compare", "--scenario", "medium-high",
+                     "--scale", "0.08", "--seed", "2", "--nodes", "3",
+                     "--out", str(target)])
+        assert code == 0
+        data = json.loads(target.read_text())
+        assert data["schema"] == 1
+        assert set(data["series"]["committed"]) == {
+            "cotec", "otec", "lotec", "rc",
+        }
+        assert "deadlocks" in data["series"]
+
+
+class TestBench:
+    def test_bench_writes_one_file_per_experiment(self, tmp_path, capsys):
+        out_dir = tmp_path / "bench"
+        code = main(["bench", "abl-gdocache", "abl-dsd",
+                     "--scale", "0.08", "--seed", "2", "--nodes", "3",
+                     "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+                     "--out-dir", str(out_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "abl-gdocache" in out and "abl-dsd" in out
+        assert "4 cluster runs: 4 executed (jobs=2)" in out
+        for eid in ("abl-gdocache", "abl-dsd"):
+            data = json.loads((out_dir / f"BENCH_{eid}.json").read_text())
+            assert data["schema"] == 1
+
+    def test_bench_second_run_is_all_cache_hits(self, tmp_path, capsys):
+        argv = ["bench", "abl-gdocache",
+                "--scale", "0.08", "--seed", "2", "--nodes", "3",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out-dir", str(tmp_path / "bench")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "0 executed" in capsys.readouterr().out
+
+    def test_bench_unknown_id_rejected(self, tmp_path, capsys):
+        code = main(["bench", "fig99", "--no-cache",
+                     "--out-dir", str(tmp_path)])
+        assert code == 2
+        assert "fig99" in capsys.readouterr().err
 
 
 class TestMainModule:
