@@ -26,6 +26,7 @@ Quick start::
     assert cluster.read_attr(counter, "value") == 3
 """
 
+from repro.faults import FAULT_PRESETS, CrashEvent, FaultPlan
 from repro.net.network import NetworkConfig
 from repro.obs import MetricsRegistry, NullTracer, TraceEvent, Tracer
 from repro.net.presets import (
@@ -46,6 +47,8 @@ from repro.runtime.verify import (
 from repro.util.errors import (
     ConfigurationError,
     DeadlockError,
+    LockTimeoutError,
+    NodeCrashError,
     ProtocolError,
     RecursiveInvocationError,
     ReproError,
@@ -77,10 +80,15 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "ConfigurationError",
+    "CrashEvent",
     "DeadlockError",
     "ETHERNET_10M",
     "ExperimentResult",
     "ExperimentRunner",
+    "FAULT_PRESETS",
+    "FaultPlan",
+    "LockTimeoutError",
+    "NodeCrashError",
     "ResultCache",
     "FAST_ETHERNET_100M",
     "GIGABIT_1G",

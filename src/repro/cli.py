@@ -19,6 +19,11 @@ Commands:
   write the trace artifacts (JSONL event log + Chrome ``trace_event``
   JSON loadable in Perfetto / ``chrome://tracing``) plus a metrics
   summary.
+* ``chaos <preset>`` — run one scenario under a named fault preset
+  (message loss, duplication, delay jitter, node crash/recovery, lock
+  timeouts — see :data:`repro.faults.FAULT_PRESETS`), print the fault
+  and retry accounting, and gate on the serializability oracle: exit
+  nonzero if the faulted run is not equivalent to a serial replay.
 * ``list`` — show available experiment ids and scenarios.
 * ``version`` (or ``--version``) — print the package version.
 
@@ -43,9 +48,12 @@ from repro.bench import (
     format_bench_summary,
     format_table,
 )
+from repro.faults import FAULT_PRESETS
 from repro.obs import render_summary, write_chrome_trace, write_jsonl
 from repro.runtime.cluster import Cluster
 from repro.runtime.config import ClusterConfig
+from repro.runtime.verify import check_serializability
+from repro.util.errors import ReproError
 from repro.workload.generator import generate_workload
 from repro.workload.params import SCENARIOS
 from repro.workload.runner import run_workload
@@ -151,6 +159,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("cotec", "otec", "lotec", "rc"))
     trace.add_argument("--out", default="trace-out", metavar="DIR",
                        help="directory for trace artifacts")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a scenario under a fault preset; gate on serializability",
+    )
+    chaos.add_argument("preset", choices=sorted(FAULT_PRESETS))
+    chaos.add_argument("--scenario", choices=sorted(SCENARIOS),
+                       default="medium-high")
+    _add_run_arguments(chaos, default_scale=0.25)
+    chaos.add_argument("--protocol", default="lotec",
+                       choices=("cotec", "otec", "lotec", "rc"))
+    chaos.add_argument("--out", metavar="DIR",
+                       help="also write trace artifacts (JSONL + Chrome "
+                            "trace) to this directory")
 
     sub.add_parser("list", help="list experiment ids and scenarios")
     sub.add_parser("version", help="print the package version")
@@ -326,6 +348,61 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    plan = FAULT_PRESETS[args.preset]
+    params = SCENARIOS[args.scenario].scaled(args.scale)
+    workload = generate_workload(params, seed=args.seed)
+    cluster = Cluster(ClusterConfig(
+        num_nodes=args.nodes, protocol=args.protocol, seed=args.seed,
+        audit_accesses=False, trace=True, faults=plan,
+    ))
+    run = run_workload(cluster, workload)
+    report = check_serializability(cluster)
+    stats = cluster.fault_stats
+    print(f"preset {args.preset} on scenario {args.scenario} under "
+          f"{args.protocol} (seed {args.seed}, scale {args.scale}, "
+          f"{args.nodes} nodes): {run.committed} committed, "
+          f"{run.failed} failed\n")
+    print(format_table(
+        ["fault counter", "value"],
+        [
+            ["messages dropped", stats.messages_dropped],
+            ["retransmissions", stats.retransmissions],
+            ["messages duplicated", stats.messages_duplicated],
+            ["delay injected (us)", round(stats.delay_injected_s * 1e6)],
+            ["lock timeouts", stats.lock_timeouts],
+            ["crashes / recoveries",
+             f"{stats.crashes} / {stats.recoveries}"],
+            ["crash-aborted families", stats.crash_aborted_families],
+            ["deadlock retries", cluster.txn_stats.retries],
+        ],
+    ))
+    if args.out:
+        try:
+            os.makedirs(args.out, exist_ok=True)
+        except (FileExistsError, NotADirectoryError):
+            print(f"error: --out {args.out!r} exists and is not a "
+                  f"directory", file=sys.stderr)
+            return 2
+        base = os.path.join(
+            args.out, f"{args.scenario}-{args.protocol}-{args.preset}"
+        )
+        jsonl_path = f"{base}.jsonl"
+        chrome_path = f"{base}.chrome.json"
+        write_jsonl(cluster.trace_events, jsonl_path)
+        write_chrome_trace(cluster.trace_events, chrome_path)
+        print(f"\nwrote {jsonl_path}")
+        print(f"wrote {chrome_path} (load in Perfetto / chrome://tracing)")
+    if report.equivalent:
+        print(f"\nserializability: OK "
+              f"({report.committed_roots} committed roots replay clean)")
+        return 0
+    print("\nserializability: FAILED", file=sys.stderr)
+    for line in report.state_mismatches + report.result_mismatches:
+        print(f"  {line}", file=sys.stderr)
+    return 1
+
+
 def _cmd_version(_args) -> int:
     print(_package_version())
     return 0
@@ -348,10 +425,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _cmd_bench,
         "compare": _cmd_compare,
         "trace": _cmd_trace,
+        "chaos": _cmd_chaos,
         "list": _cmd_list,
         "version": _cmd_version,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        # Expected operational failures (bad configuration, protocol
+        # invariant violations) are user-facing diagnostics, not bugs:
+        # one line on stderr, nonzero exit, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,78 @@
+"""Node crash/recovery side effects.
+
+The *timing* of a crash is static — the injector's down-windows are
+computed from the plan — but a crash also has to actively damage the
+running system: every non-committing transaction family hosted on the
+node is interrupted mid-coroutine, its directory entries are
+reclaimed so other families stop waiting on a ghost, and holder-list
+cache entries pointing at the node are invalidated.  This module
+performs those side effects at the scheduled instants.
+
+The model is fail-stop with stable storage: committed page versions
+owned by the node survive the window (as if disk-backed), and a family
+that has passed its commit point (``committing`` flag set by the
+executor) is allowed to finish — its remaining messages are simply
+delayed by the down-window drop/retransmit rule, which preserves
+commit atomicity without a write-ahead log.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.util.errors import NodeCrashError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.faults.injector import FaultInjector
+
+__all__ = ["CrashController"]
+
+
+class CrashController:
+    """Schedules the plan's crash windows as simulation processes."""
+
+    def __init__(self, env, injector: "FaultInjector", lockmgr, cache,
+                 executor, tracer):
+        self.env = env
+        self.injector = injector
+        self.lockmgr = lockmgr
+        self.cache = cache
+        self.executor = executor
+        self.tracer = tracer
+
+    def schedule(self) -> None:
+        """Spawn one driver process per planned crash event."""
+        for crash in self.injector.plan.crashes:
+            self.env.process(self._run(crash),
+                             name=f"fault.crash:N{crash.node_index}")
+
+    def _run(self, crash):
+        if crash.at_s > 0:
+            yield self.env.timeout(crash.at_s)
+        self._crash(crash)
+        yield self.env.timeout(crash.down_for_s)
+        self._recover(crash)
+
+    def _crash(self, crash) -> None:
+        node_index = crash.node_index
+        self.injector.stats.crashes += 1
+        self.tracer.node_crash(node_index, crash.down_for_s)
+        crashed_roots = []
+        for root, family in sorted(self.executor.live_families.items()):
+            if family.node.value != node_index or family.committing:
+                continue
+            crashed_roots.append(root)
+            self.injector.stats.crash_aborted_families += 1
+            self.tracer.crash_abort(node_index, root)
+            if family.process is not None:
+                family.process.interrupt(
+                    NodeCrashError(family.txn.id, node=family.node))
+        invalidated = self.cache.invalidate_node(node_index)
+        if invalidated:
+            self.tracer.crash_cache_invalidate(node_index, invalidated)
+        # Reclaim directory state even when no family was interrupted:
+        # a family may already be unwinding (e.g. mid-abort) while its
+        # waiters still sit in entry queues.
+        self.lockmgr.crash_release(crashed_roots)
+
+    def _recover(self, crash) -> None:
+        self.injector.stats.recoveries += 1
+        self.tracer.node_recover(crash.node_index)

@@ -1,0 +1,181 @@
+"""Fault injectors: the seeded decision engine behind the chaos plan.
+
+The injector is consulted at exactly the points where the real system
+would misbehave — per remote message at the network layer, per blocked
+lock wait, and per node at transaction-start — and answers from one
+dedicated RNG sub-stream (``rng.derive("faults")``), so fault
+decisions never perturb the scheduler, workload, or executor streams.
+
+Two implementations share one interface:
+
+* :class:`NullInjector` (shared :data:`NULL_INJECTOR`) is the default
+  everywhere: it draws nothing from any RNG and answers "no fault" to
+  every query, which keeps a fault-free run byte-identical to a build
+  without this package.
+* :class:`FaultInjector` evaluates a
+  :class:`~repro.faults.plan.FaultPlan` with a fixed draw order
+  (drop, then duplicate, then jitter) so the fault schedule is a
+  deterministic function of ``(seed, plan)``.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.util.rng import SeededRNG
+
+__all__ = [
+    "FaultStats", "MessageFaults", "NO_FAULTS",
+    "NullInjector", "NULL_INJECTOR", "FaultInjector",
+]
+
+
+@dataclass
+class FaultStats:
+    """Aggregate fault/recovery accounting for one cluster run."""
+
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    retransmissions: int = 0
+    delay_injected_s: float = 0.0
+    lock_timeouts: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    crash_aborted_families: int = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "retransmissions": self.retransmissions,
+            "delay_injected_s": self.delay_injected_s,
+            "lock_timeouts": self.lock_timeouts,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "crash_aborted_families": self.crash_aborted_families,
+        }
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """The injector's verdict for one transmission attempt."""
+
+    dropped: bool = False
+    duplicated: bool = False
+    extra_delay_s: float = 0.0
+
+
+#: Shared "nothing happened" verdict — the only one NullInjector returns.
+NO_FAULTS = MessageFaults()
+
+
+class NullInjector:
+    """Fault injection disabled: every query answers "no fault".
+
+    ``stats`` is a class-level all-zero record that is never mutated
+    (the network layer only touches injector stats on fault branches,
+    which this class never takes), so sharing :data:`NULL_INJECTOR`
+    across clusters is safe.
+    """
+
+    enabled = False
+    plan = None
+    stats = FaultStats()
+
+    def message_faults(self, message, attempt, now, synchronous=False):
+        return NO_FAULTS
+
+    def lock_wait_timeout_s(self) -> float:
+        return 0.0
+
+    def retransmit_timeout_s(self) -> float:
+        return 0.0
+
+    def is_down(self, node, now) -> bool:
+        return False
+
+    def down_until(self, node, now) -> float:
+        return 0.0
+
+
+#: Shared disabled injector — the default everywhere one is optional.
+NULL_INJECTOR = NullInjector()
+
+
+class FaultInjector(NullInjector):
+    """Evaluate a :class:`FaultPlan` against a seeded RNG stream.
+
+    Crash windows are static intervals computed from the plan up
+    front, so "is node N down at time t" is answerable without any
+    mutable controller state; the
+    :class:`~repro.faults.crash.CrashController` only performs the
+    *side effects* of a crash (family aborts, GDO cleanup).
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan, rng: SeededRNG):
+        self.plan = plan
+        self.rng = rng
+        self.stats = FaultStats()
+        self._down: Dict[int, List[Tuple[float, float]]] = {}
+        for crash in plan.crashes:
+            self._down.setdefault(crash.node_index, []).append(
+                (crash.at_s, crash.up_at_s))
+        for windows in self._down.values():
+            windows.sort()
+
+    # -- crash windows -----------------------------------------------------
+
+    def is_down(self, node, now) -> bool:
+        return self.down_until(node, now) > now
+
+    def down_until(self, node, now) -> float:
+        """End of the crash window covering ``now``, or 0.0 if up."""
+        for start, end in self._down.get(node.value, ()):
+            if start <= now < end:
+                return end
+        return 0.0
+
+    # -- message faults ----------------------------------------------------
+
+    def message_faults(self, message, attempt, now, synchronous=False):
+        """Decide the fate of one transmission attempt.
+
+        A message to or from a crashed node is always lost (the
+        retransmission loop redelivers it after recovery); the
+        synchronous ``charge`` path skips this rule because its clock
+        is frozen and waiting for recovery would never terminate.
+        Probabilistic drops apply only while ``attempt`` is within the
+        plan's retransmit limit — past it the channel turns lossless,
+        which is what makes fair-loss delivery (and the run) terminate.
+        """
+        plan = self.plan
+        if not synchronous and (self.is_down(message.src, now)
+                                or self.is_down(message.dst, now)):
+            self.stats.messages_dropped += 1
+            return MessageFaults(dropped=True)
+        if (plan.drop_probability > 0
+                and attempt < plan.retransmit_limit
+                and self.rng.maybe(plan.drop_probability)):
+            self.stats.messages_dropped += 1
+            return MessageFaults(dropped=True)
+        duplicated = (plan.duplicate_probability > 0
+                      and self.rng.maybe(plan.duplicate_probability))
+        extra = (self.rng.uniform(0.0, plan.delay_jitter_s)
+                 if plan.delay_jitter_s > 0 else 0.0)
+        if duplicated:
+            self.stats.messages_duplicated += 1
+        if extra:
+            self.stats.delay_injected_s += extra
+        if not duplicated and not extra:
+            return NO_FAULTS
+        return MessageFaults(duplicated=duplicated, extra_delay_s=extra)
+
+    # -- recovery parameters ----------------------------------------------
+
+    def lock_wait_timeout_s(self) -> float:
+        return self.plan.lock_wait_timeout_s
+
+    def retransmit_timeout_s(self) -> float:
+        return self.plan.retransmit_timeout_s

@@ -1,0 +1,143 @@
+"""Fault plans: declarative, validated descriptions of what to break.
+
+A :class:`FaultPlan` is pure data — it carries no randomness and no
+clock.  The :class:`~repro.faults.injector.FaultInjector` combines a
+plan with a seeded RNG stream and the simulation clock to produce the
+actual fault schedule, which makes the schedule a deterministic
+function of ``(cluster seed, plan)``.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["CrashEvent", "FaultPlan", "FAULT_PRESETS"]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled fail-stop window for a single node.
+
+    The node stops sending and receiving at ``at_s`` and comes back at
+    ``at_s + down_for_s``.  Storage is stable across the window (the
+    model is fail-stop with durable pages, not media loss): committed
+    page versions owned by the node survive, but every non-committing
+    transaction family running there is aborted and its directory
+    state reclaimed.
+    """
+
+    node_index: int
+    at_s: float
+    down_for_s: float
+
+    def __post_init__(self) -> None:
+        if self.node_index < 0:
+            raise ConfigurationError(
+                f"crash node_index must be >= 0, got {self.node_index}")
+        if self.at_s < 0:
+            raise ConfigurationError(
+                f"crash at_s must be >= 0, got {self.at_s}")
+        if not self.down_for_s > 0:
+            raise ConfigurationError(
+                f"crash down_for_s must be > 0, got {self.down_for_s}")
+
+    @property
+    def up_at_s(self) -> float:
+        return self.at_s + self.down_for_s
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What faults to inject, and the recovery parameters that bound them.
+
+    Probabilistic message faults are evaluated per remote message in a
+    fixed order (drop, duplicate, jitter) from a dedicated RNG
+    sub-stream.  Drops are *fair-loss*: once a message has been
+    retransmitted ``retransmit_limit`` times, further probabilistic
+    drops are suppressed so delivery — and therefore termination — is
+    guaranteed.  ``lock_wait_timeout_s == 0`` disables lock-wait
+    timeouts entirely.
+    """
+
+    name: str = "custom"
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    delay_jitter_s: float = 0.0
+    retransmit_timeout_s: float = 0.002
+    retransmit_limit: int = 8
+    lock_wait_timeout_s: float = 0.0
+    crashes: Tuple[CrashEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for label, probability in (
+            ("drop_probability", self.drop_probability),
+            ("duplicate_probability", self.duplicate_probability),
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ConfigurationError(
+                    f"{label} must be in [0, 1], got {probability}")
+        if self.delay_jitter_s < 0:
+            raise ConfigurationError(
+                f"delay_jitter_s must be >= 0, got {self.delay_jitter_s}")
+        if not self.retransmit_timeout_s > 0:
+            raise ConfigurationError(
+                "retransmit_timeout_s must be > 0, got "
+                f"{self.retransmit_timeout_s}")
+        if self.retransmit_limit < 1:
+            raise ConfigurationError(
+                f"retransmit_limit must be >= 1, got {self.retransmit_limit}")
+        if self.lock_wait_timeout_s < 0:
+            raise ConfigurationError(
+                "lock_wait_timeout_s must be >= 0, got "
+                f"{self.lock_wait_timeout_s}")
+        for crash in self.crashes:
+            if not isinstance(crash, CrashEvent):
+                raise ConfigurationError(
+                    f"crashes must hold CrashEvent instances, got {crash!r}")
+
+    @property
+    def max_crash_node_index(self) -> int:
+        """Largest node index named by a crash, or -1 with no crashes."""
+        if not self.crashes:
+            return -1
+        return max(crash.node_index for crash in self.crashes)
+
+    @property
+    def has_message_faults(self) -> bool:
+        return (self.drop_probability > 0
+                or self.duplicate_probability > 0
+                or self.delay_jitter_s > 0)
+
+
+#: Named presets exercised by ``repro chaos`` and the chaos test suite.
+#: Collectively they cover loss >= 10%, duplication, delay jitter, and
+#: at least one node crash/recovery; "chaos" combines all of them.
+FAULT_PRESETS: Dict[str, FaultPlan] = {
+    "lossy-net": FaultPlan(
+        name="lossy-net",
+        drop_probability=0.12,
+        delay_jitter_s=0.0005,
+    ),
+    "dup-delay": FaultPlan(
+        name="dup-delay",
+        duplicate_probability=0.15,
+        delay_jitter_s=0.002,
+    ),
+    "lock-timeout": FaultPlan(
+        name="lock-timeout",
+        lock_wait_timeout_s=0.002,
+    ),
+    "crash-recover": FaultPlan(
+        name="crash-recover",
+        crashes=(CrashEvent(node_index=1, at_s=0.004, down_for_s=0.01),),
+    ),
+    "chaos": FaultPlan(
+        name="chaos",
+        drop_probability=0.10,
+        duplicate_probability=0.05,
+        delay_jitter_s=0.001,
+        lock_wait_timeout_s=0.01,
+        crashes=(CrashEvent(node_index=1, at_s=0.004, down_for_s=0.008),),
+    ),
+}

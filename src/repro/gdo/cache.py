@@ -70,3 +70,20 @@ class EntryCacheTracker:
         """The lock went free at the GDO: no site's cache is authoritative."""
         if self._cached_at.pop(object_id, None) is not None:
             self.stats.invalidations += 1
+
+    def invalidate_node(self, node_index: int) -> int:
+        """Drop every holder list cached at a crashed node.
+
+        The cached copy died with the node's memory; after recovery the
+        site must re-fetch from the home node like any cold site.
+        Returns the number of entries invalidated.
+        """
+        victims = [
+            object_id
+            for object_id, node in self._cached_at.items()
+            if node.value == node_index
+        ]
+        for object_id in victims:
+            del self._cached_at[object_id]
+            self.stats.invalidations += 1
+        return len(victims)

@@ -38,6 +38,20 @@ class DeadlockDetector:
     def clear_entry(self, object_id: ObjectId) -> None:
         self._entry_waits.pop(object_id, None)
 
+    def drop_family(self, root: int) -> None:
+        """Remove one family from every edge (crash-aborted families).
+
+        Per-entry refreshes already cover entries the crashed family
+        touched; this is the safety net guaranteeing no stale edge can
+        keep the dead family in a cycle and no survivor can be chosen
+        as a victim of a ghost.
+        """
+        for object_id in list(self._entry_waits):
+            waiting, blocking = self._entry_waits[object_id]
+            if root not in waiting and root not in blocking:
+                continue
+            self.update_entry(object_id, waiting - {root}, blocking - {root})
+
     def edges(self) -> Dict[int, Set[int]]:
         """Materialized adjacency: family -> families it waits for."""
         adjacency: Dict[int, Set[int]] = {}

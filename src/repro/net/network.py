@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.net.message import Message
 from repro.net.stats import NetworkStats
 from repro.obs.tracer import NULL_TRACER
@@ -77,13 +78,22 @@ class Network:
     message as occupying the wire for its transfer time and deliver it
     that much later; per-link queueing is deliberately omitted, exactly
     as in the paper's cost model.
+
+    With a :class:`~repro.faults.injector.FaultInjector` wired in, the
+    network becomes a *fair-loss* channel with a reliable transport on
+    top: an injected drop consumes wire time and is retransmitted
+    after the plan's retransmit timeout, so callers still see exactly
+    one delivery event per ``send`` — faults surface as added latency
+    and extra accounted traffic, never as a hang or a lost grant.
     """
 
-    def __init__(self, env: Environment, config: NetworkConfig, tracer=None):
+    def __init__(self, env: Environment, config: NetworkConfig, tracer=None,
+                 injector=None):
         self.env = env
         self.config = config
         self.stats = NetworkStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.injector = injector if injector is not None else NULL_INJECTOR
 
     def send(self, message: Message) -> Event:
         """Send a message; returns an event firing at delivery time.
@@ -98,16 +108,50 @@ class Network:
             message.deliver_time = self.env.now
             done.succeed(message)
             return done
-        transfer_time = self.config.transfer_time(message.size_bytes)
+        self._transmit(message, done, attempt=0)
+        return done
+
+    def _transmit(self, message: Message, done: Event, attempt: int) -> None:
+        """One wire attempt; re-arms itself after an injected drop.
+
+        Every attempt — including dropped ones and duplicates — is
+        accounted in :class:`NetworkStats` and traced: lost wire time
+        is real wire time, which is exactly the cost model distortion
+        a robustness experiment wants to measure.
+        """
+        message.send_time = self.env.now
+        faults = self.injector.message_faults(message, attempt, self.env.now)
+        transfer_time = (self.config.transfer_time(message.size_bytes)
+                         + faults.extra_delay_s)
+        if faults.dropped:
+            self.stats.record(message, transfer_time)
+            self.tracer.message(message, transfer_time)
+            self.tracer.fault_drop(message, attempt)
+            self.injector.stats.retransmissions += 1
+            self.tracer.fault_retransmit(message, attempt + 1)
+            retry_after = transfer_time + self.injector.retransmit_timeout_s()
+
+            def retransmit(_event, msg=message, target=done,
+                           next_attempt=attempt + 1):
+                self._transmit(msg, target, next_attempt)
+
+            self.env.timeout(retry_after).add_callback(retransmit)
+            return
         message.deliver_time = self.env.now + transfer_time
         self.stats.record(message, transfer_time)
         self.tracer.message(message, transfer_time)
+        if faults.duplicated:
+            # The duplicate burns wire time and is then discarded by the
+            # receiver (delivery events are one-shot by construction).
+            self.stats.record(message, transfer_time)
+            self.tracer.fault_duplicate(message)
+        if faults.extra_delay_s:
+            self.tracer.fault_delay(message, faults.extra_delay_s)
 
         def deliver(event, msg=message, target=done):
             target.succeed(msg)
 
         self.env.timeout(transfer_time).add_callback(deliver)
-        return done
 
     def charge(self, message: Message) -> float:
         """Account a message without creating a delivery event.
@@ -116,16 +160,40 @@ class Network:
         inside a running method body) where the *data* moves at once
         and the *delay* is deferred to the transaction's next
         suspension point; returns the transfer time to defer.
+
+        Fault injection treats this path as a frozen-clock replay of
+        the ``send`` loop: drops add retransmit turnarounds to the
+        deferred delay and crash windows are ignored (the clock cannot
+        advance to a recovery), bounded by the plan's retransmit limit.
         """
         message.send_time = self.env.now
         if message.is_local:
             message.deliver_time = self.env.now
             return 0.0
-        transfer_time = self.config.transfer_time(message.size_bytes)
-        message.deliver_time = self.env.now + transfer_time
-        self.stats.record(message, transfer_time)
-        self.tracer.message(message, transfer_time)
-        return transfer_time
+        total_delay = 0.0
+        attempt = 0
+        while True:
+            faults = self.injector.message_faults(
+                message, attempt, self.env.now, synchronous=True)
+            transfer_time = (self.config.transfer_time(message.size_bytes)
+                             + faults.extra_delay_s)
+            self.stats.record(message, transfer_time)
+            self.tracer.message(message, transfer_time)
+            if not faults.dropped:
+                break
+            self.tracer.fault_drop(message, attempt)
+            self.injector.stats.retransmissions += 1
+            self.tracer.fault_retransmit(message, attempt + 1)
+            total_delay += (transfer_time
+                            + self.injector.retransmit_timeout_s())
+            attempt += 1
+        message.deliver_time = self.env.now + total_delay + transfer_time
+        if faults.duplicated:
+            self.stats.record(message, transfer_time)
+            self.tracer.fault_duplicate(message)
+        if faults.extra_delay_s:
+            self.tracer.fault_delay(message, faults.extra_delay_s)
+        return total_delay + transfer_time
 
     def charge_group(self, template: Message, destinations) -> float:
         """Send the same payload to several destinations (eager pushes).

@@ -41,6 +41,7 @@ CAT_GDO = "gdo"
 CAT_TRANSFER = "transfer"
 CAT_NET = "net"
 CAT_SIM = "sim"
+CAT_FAULT = "fault"
 
 
 @dataclass
@@ -161,6 +162,35 @@ class NullTracer:
         pass
 
     def message(self, message, transfer_time):
+        pass
+
+    # -- fault injection ---------------------------------------------------
+
+    def fault_drop(self, message, attempt):
+        pass
+
+    def fault_retransmit(self, message, attempt):
+        pass
+
+    def fault_duplicate(self, message):
+        pass
+
+    def fault_delay(self, message, extra_s):
+        pass
+
+    def lock_timeout(self, txn, object_id, waited_s):
+        pass
+
+    def node_crash(self, node_index, down_for_s):
+        pass
+
+    def node_recover(self, node_index):
+        pass
+
+    def crash_abort(self, node_index, root_serial):
+        pass
+
+    def crash_cache_invalidate(self, node_index, count):
         pass
 
     def __getattr__(self, _name):  # future hooks: still a no-op
@@ -389,3 +419,81 @@ class Tracer(NullTracer):
                 "object": message.object_id,
             }),
         ))
+
+    # -- fault injection ---------------------------------------------------
+
+    def fault_drop(self, message, attempt):
+        category = message.category.value
+        self.metrics.counter("fault.drops", category=category).inc()
+        self.instant(
+            f"fault.drop msg:{category}", CAT_FAULT, node=message.src,
+            track=f"net to N{message.dst.value}",
+            msg_category=category, dst=message.dst, attempt=attempt,
+            object=message.object_id,
+        )
+
+    def fault_retransmit(self, message, attempt):
+        category = message.category.value
+        self.metrics.counter("fault.retransmissions", category=category).inc()
+        self.instant(
+            f"fault.retransmit msg:{category}", CAT_FAULT, node=message.src,
+            track=f"net to N{message.dst.value}",
+            msg_category=category, dst=message.dst, attempt=attempt,
+            object=message.object_id,
+        )
+
+    def fault_duplicate(self, message):
+        category = message.category.value
+        self.metrics.counter("fault.duplicates", category=category).inc()
+        self.instant(
+            f"fault.duplicate msg:{category}", CAT_FAULT, node=message.src,
+            track=f"net to N{message.dst.value}",
+            msg_category=category, dst=message.dst,
+            object=message.object_id,
+        )
+
+    def fault_delay(self, message, extra_s):
+        self.metrics.counter("fault.delay_s").inc(extra_s)
+        self.instant(
+            f"fault.delay msg:{message.category.value}", CAT_FAULT,
+            node=message.src, track=f"net to N{message.dst.value}",
+            msg_category=message.category, dst=message.dst, extra_s=extra_s,
+            object=message.object_id,
+        )
+
+    def lock_timeout(self, txn, object_id, waited_s):
+        self.metrics.counter("fault.lock_timeouts").inc()
+        self.instant(
+            f"fault.lock_timeout {object_id!r}", CAT_FAULT, node=txn.node,
+            track=f"family T{txn.id.root}",
+            txn=txn.id, object=object_id, waited_s=waited_s,
+        )
+
+    def node_crash(self, node_index, down_for_s):
+        self.metrics.counter("fault.crashes").inc()
+        self.instant(
+            f"fault.node_crash N{node_index}", CAT_FAULT,
+            crashed_node=node_index, down_for_s=down_for_s,
+        )
+
+    def node_recover(self, node_index):
+        self.metrics.counter("fault.recoveries").inc()
+        self.instant(
+            f"fault.node_recover N{node_index}", CAT_FAULT,
+            recovered_node=node_index,
+        )
+
+    def crash_abort(self, node_index, root_serial):
+        self.metrics.counter("fault.crash_aborts").inc()
+        self.instant(
+            f"fault.crash_abort T{root_serial}", CAT_FAULT,
+            track=f"family T{root_serial}",
+            crashed_node=node_index, root=root_serial,
+        )
+
+    def crash_cache_invalidate(self, node_index, count):
+        self.metrics.counter("fault.cache_invalidations").inc(count)
+        self.instant(
+            f"fault.cache_invalidate N{node_index}", CAT_FAULT,
+            crashed_node=node_index, entries=count,
+        )

@@ -6,6 +6,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core import ProtocolSuite, make_protocol
+from repro.faults.crash import CrashController
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.gdo.cache import EntryCacheTracker
 from repro.gdo.directory import Directory
 from repro.memory.store import NodeStore
@@ -87,7 +89,12 @@ class Cluster:
         self.nodes: List[NodeId] = [
             self.alloc.next_node() for _ in range(config.num_nodes)
         ]
-        self.network = Network(self.env, config.network, tracer=self.tracer)
+        self.injector = (
+            FaultInjector(config.faults, self.rng.derive("faults"))
+            if config.faults is not None else NULL_INJECTOR
+        )
+        self.network = Network(self.env, config.network, tracer=self.tracer,
+                               injector=self.injector)
         self.stores: Dict[NodeId, NodeStore] = {
             node: NodeStore(node) for node in self.nodes
         }
@@ -97,7 +104,7 @@ class Cluster:
         self.lockmgr = LockManager(
             self.env, self.network, self.directory, config.sizes, self.cache,
             allow_recursive_reads=config.allow_recursive_reads,
-            tracer=self.tracer,
+            tracer=self.tracer, injector=self.injector,
         )
         def protocol_factory(name):
             return make_protocol(
@@ -113,12 +120,19 @@ class Cluster:
         self.executor = Executor(
             self.env, config, self.alloc, self.stores, self.directory,
             self.lockmgr, self.protocol, self.rng.derive("executor"),
-            tracer=self.tracer,
+            tracer=self.tracer, injector=self.injector,
         )
         self.executor._registry = self.registry
         self.scheduler = Scheduler(
             self.nodes, config.scheduler, self.rng.derive("scheduler")
         )
+        self.crash_controller: Optional[CrashController] = None
+        if config.faults is not None and config.faults.crashes:
+            self.crash_controller = CrashController(
+                self.env, self.injector, self.lockmgr, self.cache,
+                self.executor, self.tracer,
+            )
+            self.crash_controller.schedule()
         self.creation_log: List[CreationRecord] = []
         self._layout_cache: Dict[int, object] = {}
         self._tickets: List[TxnTicket] = []
@@ -198,8 +212,12 @@ class Cluster:
             if delay > 0:
                 yield self.env.timeout(delay)
             try:
+                # `process` is bound below, before the bootstrap step
+                # ever runs this body; passing it lets a node crash
+                # interrupt the attempt mid-coroutine.
                 result = yield from self.executor.run_root(
-                    node, handle, method_name, args, label=label
+                    node, handle, method_name, args, label=label,
+                    process=process,
                 )
             finally:
                 self.scheduler.notify_end(node)
@@ -300,6 +318,10 @@ class Cluster:
         return self.cache.stats
 
     @property
+    def fault_stats(self):
+        return self.injector.stats
+
+    @property
     def metrics(self):
         """The tracer's metrics registry; ``None`` when tracing is off."""
         return self.tracer.metrics
@@ -327,4 +349,9 @@ class Cluster:
             "transactions": self.txn_stats.snapshot(),
             "locks": self.lock_stats.snapshot(),
             "prediction": self.protocol.snapshot(),
+            "faults": {
+                "plan": (self.config.faults.name
+                         if self.config.faults is not None else None),
+                **self.fault_stats.snapshot(),
+            },
         }

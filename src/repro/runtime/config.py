@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.core.transfer import OBJECT_GRAIN, PAGE_GRAIN
+from repro.faults.plan import FaultPlan
 from repro.net.network import NetworkConfig
 from repro.net.presets import FAST_ETHERNET_100M
 from repro.net.sizes import SizeModel
@@ -57,6 +59,12 @@ class ClusterConfig:
             network events) with the :mod:`repro.obs` tracer; off by
             default — the disabled path is a no-op
             :class:`~repro.obs.tracer.NullTracer`.
+        faults: optional :class:`~repro.faults.plan.FaultPlan` enabling
+            deterministic fault injection (message loss/dup/jitter,
+            node crash windows, lock-wait timeouts).  ``None`` — the
+            default — wires the no-op
+            :class:`~repro.faults.injector.NullInjector`, which keeps
+            runs byte-identical to a build without fault support.
     """
 
     num_nodes: int = 4
@@ -76,6 +84,7 @@ class ClusterConfig:
     class_protocols: tuple = ()
     prefetch: str = "off"
     trace: bool = False
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -112,6 +121,17 @@ class ClusterConfig:
                     "class_protocols must be a tuple of "
                     "(class name, protocol name) string pairs"
                 )
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultPlan):
+                raise ConfigurationError(
+                    f"faults must be a FaultPlan, got {self.faults!r}"
+                )
+            if self.faults.max_crash_node_index >= self.num_nodes:
+                raise ConfigurationError(
+                    f"fault plan {self.faults.name!r} crashes node "
+                    f"{self.faults.max_crash_node_index} but the cluster "
+                    f"has only {self.num_nodes} node(s)"
+                )
         if self.sizes.page_bytes != self.page_size:
             # Keep the wire model and the layout engine in agreement.
             object.__setattr__(
@@ -125,3 +145,7 @@ class ClusterConfig:
 
     def with_network(self, network: NetworkConfig) -> "ClusterConfig":
         return replace(self, network=network)
+
+    def with_faults(self, faults: Optional[FaultPlan]) -> "ClusterConfig":
+        """The same run parameters under a fault plan (or none)."""
+        return replace(self, faults=faults)

@@ -20,9 +20,10 @@ model of §2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.prediction import AccessPrediction, predict
+from repro.faults.injector import NULL_INJECTOR
 from repro.gdo.entry import LockMode
 from repro.memory.shadow import ShadowLog
 from repro.memory.undo import UndoLog
@@ -34,6 +35,8 @@ from repro.txn.transaction import Transaction, TxnStats
 from repro.util.errors import (
     ConfigurationError,
     DeadlockError,
+    LockTimeoutError,
+    NodeCrashError,
     ProtocolError,
     RecursiveInvocationError,
     TransactionAborted,
@@ -82,6 +85,23 @@ class AccessAudit:
     @property
     def writes_conservative(self) -> bool:
         return self.actual_writes <= self.predicted_writes
+
+
+@dataclass
+class _LiveFamily:
+    """One in-flight root attempt, registered for crash targeting.
+
+    ``committing`` flips to True at the family's commit point (body
+    finished, effects about to be installed): a node crash no longer
+    interrupts such a family — its remaining release messages are
+    merely delayed by the down window — which is what makes root
+    commit atomic under fail-stop crashes.
+    """
+
+    txn: Transaction
+    node: NodeId
+    process: object = None
+    committing: bool = False
 
 
 @dataclass(frozen=True)
@@ -135,7 +155,7 @@ class Executor:
     """Executes root transactions against one cluster's substrates."""
 
     def __init__(self, env, config, alloc, stores, directory, lockmgr,
-                 protocol, rng, tracer=None):
+                 protocol, rng, tracer=None, injector=None):
         self.env = env
         self.config = config
         self.alloc = alloc
@@ -145,69 +165,103 @@ class Executor:
         self.protocol = protocol
         self.rng = rng
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.injector = injector if injector is not None else NULL_INJECTOR
         self._recovery_factory = (
             ShadowLog if config.recovery == "shadow" else UndoLog
         )
         self.txn_stats = TxnStats()
         self.commit_log: List[CommitRecord] = []
         self.audit: List[AccessAudit] = []
+        # root serial -> in-flight attempt; the CrashController walks
+        # this to find the families a node crash must interrupt.
+        self.live_families: Dict[int, _LiveFamily] = {}
 
     # ------------------------------------------------------------------
     # Root transactions
     # ------------------------------------------------------------------
 
     def run_root(self, node: NodeId, handle: ObjectHandle, method_name: str,
-                 args: Tuple, label: str = ""):
-        """Simulation process for one user invocation (with retries)."""
+                 args: Tuple, label: str = "", process=None):
+        """Simulation process for one user invocation (with retries).
+
+        ``process`` is the :class:`~repro.sim.process.Process` driving
+        this generator, when the caller has one: it lets a node crash
+        interrupt the attempt mid-coroutine.  Retryable aborts
+        (deadlock victim, lock-wait timeout) restart the loop with a
+        fresh root serial after capped exponential backoff; a crash of
+        the hosting node is terminal for the family.
+        """
         attempts = 0
         while True:
+            yield from self._await_node_up(node)
             txn = Transaction(self.alloc.next_root_txn(), node,
                               label=label or method_name,
                               recovery_factory=self._recovery_factory)
+            family = _LiveFamily(txn=txn, node=node, process=process)
+            self.live_families[txn.id.root] = family
             started = self.env.now
             token = self.tracer.txn_begin(txn)
             try:
-                if self.config.prefetch != "off" and (
-                    handle.meta.schema.method_spec(method_name).may_invoke
-                ):
-                    # §5.1 invocation analysis: methods proven to invoke
-                    # nothing skip pre-acquisition entirely.
-                    yield from self._prefetch(txn, handle, args)
-                result = yield from self._execute(txn, handle, method_name, args)
-            except DeadlockError:
-                yield from self._abort_root(txn)
-                self.tracer.txn_abort(token, txn, "deadlock")
-                self.txn_stats.aborts_deadlock += 1
-                attempts += 1
-                if attempts > self.config.max_retries:
-                    raise TransactionAborted(txn.id, "deadlock-retries-exhausted")
-                self.txn_stats.retries += 1
-                backoff = (
-                    self.config.retry_backoff_s
-                    * (2 ** min(attempts, 6))
-                    * (0.5 + self.rng.random())
-                )
-                yield self.env.timeout(backoff)
-                continue
-            except RecursiveInvocationError:
-                yield from self._abort_root(txn)
-                self.tracer.txn_abort(token, txn, "recursive")
-                self.txn_stats.aborts_recursive += 1
-                raise
-            except ProtocolError:
-                raise  # internal invariant violation: never mask as an abort
-            except TransactionAborted:
-                yield from self._abort_root(txn)
-                self.tracer.txn_abort(token, txn, "user")
-                self.txn_stats.aborts_user += 1
-                raise
-            except Exception:
-                yield from self._abort_root(txn)
-                self.tracer.txn_abort(token, txn, "exception")
-                self.txn_stats.aborts_user += 1
-                raise
-            yield from self._flush_delay(txn)
-            yield from self._commit_root(txn)
+                try:
+                    if self.config.prefetch != "off" and (
+                        handle.meta.schema.method_spec(method_name).may_invoke
+                    ):
+                        # §5.1 invocation analysis: methods proven to invoke
+                        # nothing skip pre-acquisition entirely.
+                        yield from self._prefetch(txn, handle, args)
+                    result = yield from self._execute(txn, handle, method_name,
+                                                      args)
+                except DeadlockError:
+                    yield from self._abort_root(txn)
+                    self.tracer.txn_abort(token, txn, "deadlock")
+                    self.txn_stats.aborts_deadlock += 1
+                    attempts += 1
+                    if attempts > self.config.max_retries:
+                        raise TransactionAborted(txn.id,
+                                                 "deadlock-retries-exhausted")
+                    self.txn_stats.retries += 1
+                    yield self.env.timeout(self._retry_backoff(attempts))
+                    continue
+                except LockTimeoutError:
+                    yield from self._abort_root(txn)
+                    self.tracer.txn_abort(token, txn, "lock-timeout")
+                    self.txn_stats.aborts_lock_timeout += 1
+                    attempts += 1
+                    if attempts > self.config.max_retries:
+                        raise TransactionAborted(
+                            txn.id, "lock-timeout-retries-exhausted")
+                    self.txn_stats.retries += 1
+                    yield self.env.timeout(self._retry_backoff(attempts))
+                    continue
+                except NodeCrashError:
+                    # The submitting client died with the node: roll back
+                    # and surface the crash — no retry.
+                    yield from self._abort_root(txn)
+                    self.tracer.txn_abort(token, txn, "node-crash")
+                    self.txn_stats.aborts_crash += 1
+                    raise
+                except RecursiveInvocationError:
+                    yield from self._abort_root(txn)
+                    self.tracer.txn_abort(token, txn, "recursive")
+                    self.txn_stats.aborts_recursive += 1
+                    raise
+                except ProtocolError:
+                    raise  # internal invariant violation: never mask as an abort
+                except TransactionAborted:
+                    yield from self._abort_root(txn)
+                    self.tracer.txn_abort(token, txn, "user")
+                    self.txn_stats.aborts_user += 1
+                    raise
+                except Exception:
+                    yield from self._abort_root(txn)
+                    self.tracer.txn_abort(token, txn, "exception")
+                    self.txn_stats.aborts_user += 1
+                    raise
+                family.committing = True
+                yield from self._flush_delay(txn)
+                yield from self._commit_root(txn)
+            finally:
+                self.live_families.pop(txn.id.root, None)
             self.txn_stats.commits += 1
             latency = self.env.now - started
             self.tracer.txn_commit(token, txn, latency)
@@ -221,6 +275,28 @@ class Executor:
                 )
             )
             return result
+
+    def _retry_backoff(self, attempts: int) -> float:
+        """Capped exponential backoff with seeded jitter (same stream
+        and formula for every retryable abort cause)."""
+        return (
+            self.config.retry_backoff_s
+            * (2 ** min(attempts, 6))
+            * (0.5 + self.rng.random())
+        )
+
+    def _await_node_up(self, node: NodeId):
+        """Hold off while ``node`` is inside a crash window.
+
+        New root attempts cannot start on a down node; with no fault
+        plan (or no crash covering now) this yields nothing, keeping
+        the fault-free event schedule untouched.
+        """
+        while True:
+            until = self.injector.down_until(node, self.env.now)
+            if until <= self.env.now:
+                return
+            yield self.env.timeout(until - self.env.now)
 
     def _commit_root(self, root: Transaction):
         """Algorithm 4.3 (root commits) + 4.4, then protocol commit hook."""
@@ -415,7 +491,8 @@ class Executor:
                 send_value = yield from self._execute(
                     child, item.handle, item.method_name, item.args
                 )
-            except (DeadlockError, RecursiveInvocationError, ProtocolError):
+            except (DeadlockError, LockTimeoutError, NodeCrashError,
+                    RecursiveInvocationError, ProtocolError):
                 # Family-fatal: not visible to user code.
                 body.close()
                 raise

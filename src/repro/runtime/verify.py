@@ -43,9 +43,13 @@ def replay_serially(cluster: Cluster,
     identity is preserved by construction.
     """
     if config is None:
+        # faults=None: the serial oracle must replay the *committed*
+        # history on a clean cluster — re-injecting the fault plan
+        # would perturb (or, with crash events, outright reject) the
+        # single-node replay.
         config = replace(
             cluster.config, num_nodes=1, scheduler="round_robin",
-            audit_accesses=False,
+            audit_accesses=False, faults=None,
         )
     serial = Cluster(config)
     for record in cluster.creation_log:

@@ -30,6 +30,7 @@ class Process(Event):
         super().__init__(env, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on = None
+        self._pending_interrupt = None
         # Kick off on a zero-delay event so creation order does not matter.
         bootstrap = Event(env, name=f"init:{self.name}")
         bootstrap.add_callback(self._resume)
@@ -39,10 +40,42 @@ class Process(Event):
     def is_alive(self) -> bool:
         return not self.triggered
 
+    def interrupt(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the process at its current wait point.
+
+        The process detaches from the event it was waiting on (that
+        event may still fire later; nothing listens) and resumes with
+        the exception on the next simulation step, exactly as if the
+        awaited event had failed.  Fault injection uses this to model
+        a node crash killing an in-flight transaction family.  No-op
+        on a finished process; a process interrupted before its
+        bootstrap step receives the exception at its first yield.
+        """
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is None:
+            # Not yet bootstrapped (or between steps): deliver lazily.
+            self._pending_interrupt = exc
+            return
+        if target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        poison = Event(self.env, name=f"interrupt:{self.name}")
+        poison.add_callback(self._resume)
+        poison.fail(exc)
+
     def _resume(self, fired: Event) -> None:
         self._waiting_on = None
         try:
-            if fired.ok:
+            if self._pending_interrupt is not None:
+                exc = self._pending_interrupt
+                self._pending_interrupt = None
+                target = self._generator.throw(exc)
+            elif fired.ok:
                 target = self._generator.send(fired.value)
             else:
                 target = self._generator.throw(fired.value)

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.gdo.cache import EntryCacheTracker
 from repro.gdo.directory import Directory
 from repro.gdo.entry import DirectoryEntry, GrantDecision, LockMode, Waiter
@@ -31,7 +32,13 @@ from repro.net.network import Network
 from repro.net.sizes import SizeModel
 from repro.obs.tracer import NULL_TRACER
 from repro.txn.transaction import Transaction
-from repro.util.errors import DeadlockError, ProtocolError, RecursiveInvocationError
+from repro.util.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    NodeCrashError,
+    ProtocolError,
+    RecursiveInvocationError,
+)
 from repro.util.ids import NodeId, ObjectId
 
 
@@ -46,6 +53,7 @@ class LockStats:
     recursive_rejections: int = 0
     prefetch_granted: int = 0
     prefetch_denied: int = 0
+    lock_timeouts: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -56,6 +64,7 @@ class LockStats:
             "recursive_rejections": self.recursive_rejections,
             "prefetch_granted": self.prefetch_granted,
             "prefetch_denied": self.prefetch_denied,
+            "lock_timeouts": self.lock_timeouts,
         }
 
 
@@ -71,7 +80,8 @@ class LockManager:
 
     def __init__(self, env, network: Network, directory: Directory,
                  sizes: SizeModel, cache: EntryCacheTracker,
-                 allow_recursive_reads: bool = False, tracer=None):
+                 allow_recursive_reads: bool = False, tracer=None,
+                 injector=None):
         self.env = env
         self.network = network
         self.directory = directory
@@ -79,9 +89,14 @@ class LockManager:
         self.cache = cache
         self.allow_recursive_reads = allow_recursive_reads
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.injector = injector if injector is not None else NULL_INJECTOR
         self.stats = LockStats()
         # At most one blocked transaction per (sequential) family.
         self._blocked: Dict[int, _BlockedFamily] = {}
+        # Root serials of families killed by a node crash.  In-flight
+        # helper processes (prefetchers) consult this so they never
+        # grant new locks to a dead family after its cleanup ran.
+        self.dead_families: Set[int] = set()
         # Per-object grant history: (family root serial, mode, sim time)
         # in grant order.  Feeds the precedence-graph oracle
         # (repro.runtime.verify.check_conflict_serializability).
@@ -199,6 +214,8 @@ class LockManager:
         """
         entry = self.directory.entry(object_id)
         node = txn.node
+        if txn.id.root in self.dead_families:
+            raise NodeCrashError(txn.id, node=node)
         if entry.family_present(txn.id.root):
             return None  # already ours: nothing to pre-acquire
         request = Message(
@@ -207,6 +224,10 @@ class LockManager:
             size_bytes=self.sizes.lock_request(), object_id=object_id,
         )
         yield self.network.send(request)
+        if txn.id.root in self.dead_families:
+            # The family's node crashed while the request was on the
+            # wire; granting now would leak a lock nobody releases.
+            raise NodeCrashError(txn.id, node=node)
         decision = entry.decide(txn, mode, self.allow_recursive_reads)
         if decision is not GrantDecision.GRANTED or entry.family_present(
             txn.id.root
@@ -237,6 +258,10 @@ class LockManager:
             object_id=object_id,
         )
         yield self.network.send(grant)
+        if txn.id.root in self.dead_families:
+            # Crash landed during the grant's flight; the crash cleanup
+            # already reclaimed the entry, so just stop quietly.
+            raise NodeCrashError(txn.id, node=node)
         txn.lock_objects.add(object_id)
         self.directory.refresh_deadlock_edges(object_id)
         self._detect_deadlocks()
@@ -266,8 +291,13 @@ class LockManager:
         token = self.tracer.lock_wait_begin(
             txn, entry.object_id, mode, "local" if local else "global"
         )
+        timeout_s = self.injector.lock_wait_timeout_s()
         try:
-            payload = yield waiter.wake
+            if timeout_s > 0:
+                payload = yield from self._wait_bounded(entry, waiter,
+                                                        timeout_s)
+            else:
+                payload = yield waiter.wake
         except BaseException:
             self.tracer.lock_wait_end(token, ok=False)
             raise
@@ -276,6 +306,40 @@ class LockManager:
         self.tracer.lock_wait_end(token, ok=True)
         self._record_grant(entry.object_id, txn, mode)
         return payload
+
+    def _wait_bounded(self, entry: DirectoryEntry, waiter: Waiter,
+                      timeout_s: float):
+        """Race the wake event against the fault plan's wait bound.
+
+        On timeout the waiter is withdrawn from the entry and the whole
+        family aborts with :class:`LockTimeoutError` (the executor
+        retries it with backoff).  Two races need care: the grant may
+        already be *in flight* when the timer fires (the waiter is no
+        longer queued — honor the grant), and the wake may fail at the
+        same instant the timer fires (deadlock victim — re-raise it).
+        """
+        started = self.env.now
+        index, value = yield self.env.any_of(
+            [waiter.wake, self.env.timeout(timeout_s)]
+        )
+        if index == 0:
+            return value
+        if waiter.wake.triggered:
+            if waiter.wake.ok:
+                return waiter.wake.value
+            raise waiter.wake.value
+        if not entry.remove_waiter(waiter.txn_id):
+            if waiter.txn_id.root in self.dead_families:
+                raise NodeCrashError(waiter.txn_id)
+            # Already granted; the grant message is on the wire.
+            payload = yield waiter.wake
+            return payload
+        self.directory.refresh_deadlock_edges(entry.object_id)
+        waited = self.env.now - started
+        self.stats.lock_timeouts += 1
+        self.injector.stats.lock_timeouts += 1
+        self.tracer.lock_timeout(waiter.txn, entry.object_id, waited)
+        raise LockTimeoutError(waiter.txn_id, entry.object_id, waited)
 
     def _detect_deadlocks(self) -> None:
         """Search for cycles from every blocked family; abort victims.
@@ -466,3 +530,47 @@ class LockManager:
                     waiter.wake.succeed(payload)
 
             delivery.add_callback(wake_all)
+
+    # ------------------------------------------------------------------
+    # Crash recovery (fault injection)
+    # ------------------------------------------------------------------
+
+    def crash_release(self, roots) -> None:
+        """Forcibly reclaim directory state of crash-aborted families.
+
+        A crashed family cannot run its own release protocol (its node
+        is down and its processes were interrupted), so the GDO acts
+        unilaterally: every entry drops the family's queued waiters
+        (their processes are already dead — no wake is delivered) and
+        releases its held/retained locks, then pumps so survivors stop
+        waiting on a ghost.  Runs instantaneously at the crash instant;
+        the control traffic a real directory would need is deliberately
+        not charged, because the crashed node could not answer it.
+
+        Idempotent with respect to the family's own in-flight abort
+        processing: ``release_family`` and ``remove_family_waiters``
+        are no-ops once the family is gone from an entry.
+        """
+        dead = set(roots)
+        self.dead_families.update(dead)
+        if not dead:
+            return
+        for object_id, entry in sorted(self.directory.entries().items()):
+            roots_before = entry.blocking_family_roots()
+            touched = False
+            for root in sorted(dead):
+                if entry.remove_family_waiters(root):
+                    touched = True
+                if entry.family_present(root):
+                    entry.release_family(root)
+                    touched = True
+            if not touched:
+                continue
+            if entry.is_free:
+                self.cache.on_freed(object_id)
+            woken = entry.pump(self.allow_recursive_reads)
+            self._deliver_grants(entry, woken, roots_before)
+            self.directory.refresh_deadlock_edges(object_id)
+        for root in sorted(dead):
+            self.directory.deadlock.drop_family(root)
+        self._detect_deadlocks()

@@ -167,6 +167,8 @@ class TxnStats:
     aborts_user: int = 0
     aborts_deadlock: int = 0
     aborts_recursive: int = 0
+    aborts_lock_timeout: int = 0
+    aborts_crash: int = 0
     retries: int = 0
     sub_commits: int = 0
     sub_aborts: int = 0
@@ -174,7 +176,10 @@ class TxnStats:
 
     @property
     def total_roots(self) -> int:
-        return self.commits + self.aborts_user + self.aborts_recursive
+        """Root families that reached a terminal outcome (deadlock and
+        lock-timeout aborts are retried, so they are not terminal)."""
+        return (self.commits + self.aborts_user + self.aborts_recursive
+                + self.aborts_crash)
 
     @property
     def mean_latency(self) -> float:
@@ -204,6 +209,8 @@ class TxnStats:
             "aborts_user": self.aborts_user,
             "aborts_deadlock": self.aborts_deadlock,
             "aborts_recursive": self.aborts_recursive,
+            "aborts_lock_timeout": self.aborts_lock_timeout,
+            "aborts_crash": self.aborts_crash,
             "retries": self.retries,
             "sub_commits": self.sub_commits,
             "sub_aborts": self.sub_aborts,

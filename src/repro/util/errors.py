@@ -56,6 +56,35 @@ class DeadlockError(TransactionAborted):
         self.cycle = list(cycle) if cycle is not None else []
 
 
+class LockTimeoutError(TransactionAborted):
+    """A lock wait exceeded the fault plan's ``lock_wait_timeout_s``.
+
+    Timeouts are the fallback liveness mechanism when fault injection
+    is active: a wait that outlives the bound is treated like a
+    deadlock victim — the family aborts, releases everything it holds,
+    and the executor retries it with capped exponential backoff.
+    """
+
+    def __init__(self, txn_id, object_id=None, waited_s: float = 0.0):
+        TransactionAborted.__init__(self, txn_id, reason="lock-timeout")
+        self.object_id = object_id
+        self.waited_s = waited_s
+
+
+class NodeCrashError(TransactionAborted):
+    """The transaction's host node crashed while the family was in flight.
+
+    Raised by interrupting the family's root process (and by prefetch
+    helpers that notice their family died).  Unlike deadlock and
+    lock-timeout aborts this is *not* retried: the submitting client
+    lived on the crashed node too.
+    """
+
+    def __init__(self, txn_id, node=None):
+        TransactionAborted.__init__(self, txn_id, reason="node-crash")
+        self.node = node
+
+
 class RecursiveInvocationError(ReproError):
     """A method invoked (directly or indirectly) an object whose lock is
     *held* (not merely retained) by one of its ancestors.

@@ -35,6 +35,8 @@ class WorkloadRun:
         summary alone — including the seed it was generated from and
         the deadlock count (consumers like ``repro compare`` should not
         have to reach into ``cluster.lock_stats``)."""
+        txn_stats = self.cluster.txn_stats
+        fault_stats = self.cluster.fault_stats
         return {
             "protocol": self.cluster.config.protocol,
             "seed": self.cluster.config.seed,
@@ -42,6 +44,13 @@ class WorkloadRun:
             "failed": self.failed,
             "deadlocks": self.cluster.lock_stats.deadlocks,
             "sim_time": self.cluster.env.now,
+            # Robustness accounting, hoisted to the top level so bench
+            # envelopes of chaos runs are self-describing.
+            "retries": txn_stats.retries,
+            "messages_dropped": fault_stats.messages_dropped,
+            "retransmissions": fault_stats.retransmissions,
+            "lock_timeout_aborts": txn_stats.aborts_lock_timeout,
+            "crash_aborted_families": fault_stats.crash_aborted_families,
             **self.cluster.stats_summary(),
         }
 

@@ -244,6 +244,52 @@ class TestBench:
         assert "fig99" in capsys.readouterr().err
 
 
+class TestChaos:
+    def test_chaos_runs_and_gates_on_serializability(self, tmp_path, capsys):
+        out_dir = tmp_path / "chaos"
+        code = main(["chaos", "lossy-net", "--scale", "0.1",
+                     "--seed", "5", "--out", str(out_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serializability: OK" in out
+        assert "messages dropped" in out
+        assert "retransmissions" in out
+
+        jsonl = out_dir / "medium-high-lotec-lossy-net.jsonl"
+        chrome = out_dir / "medium-high-lotec-lossy-net.chrome.json"
+        assert jsonl.exists() and chrome.exists()
+        lines = [line for line in jsonl.read_text().splitlines() if line]
+        assert any(
+            json.loads(line)["category"] == "fault" for line in lines
+        )
+
+    def test_chaos_without_out_writes_nothing(self, tmp_path, capsys,
+                                              monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["chaos", "lock-timeout", "--scale", "0.1",
+                     "--seed", "5"])
+        assert code == 0
+        assert "lock timeouts" in capsys.readouterr().out
+        assert not list(tmp_path.iterdir())
+
+    def test_chaos_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "no-such-preset"])
+
+    def test_chaos_configuration_error_is_one_line(self, capsys):
+        # A crash preset on a 1-node cluster is a ConfigurationError;
+        # the CLI must turn it into a single stderr line and exit 1,
+        # never a traceback.
+        code = main(["chaos", "crash-recover", "--nodes", "1",
+                     "--scale", "0.1"])
+        assert code == 1
+        captured = capsys.readouterr()
+        err_lines = [line for line in captured.err.splitlines() if line]
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("error: ")
+        assert "Traceback" not in captured.err
+
+
 class TestMainModule:
     def test_python_dash_m_entry(self):
         import subprocess

@@ -1,0 +1,117 @@
+"""Network-layer fault injection: drops, retransmission, duplication,
+jitter, and the synchronous charge path."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.net import Message, MessageCategory, Network, NetworkConfig
+from repro.sim import Environment
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRNG
+
+N0, N1 = NodeId(0), NodeId(1)
+
+#: 1 ms serialization for a 1000-byte message, plus 1 ms software cost.
+CONFIG = NetworkConfig(bandwidth_bps=8e6, software_cost_s=1e-3,
+                       propagation_s=0.0)
+TRANSFER = 2e-3
+
+
+def msg(size=1000):
+    return Message(src=N0, dst=N1, category=MessageCategory.PAGE_DATA,
+                   size_bytes=size)
+
+
+def faulty_net(plan, seed=1):
+    env = Environment()
+    injector = FaultInjector(plan, SeededRNG(seed))
+    return env, Network(env, CONFIG, injector=injector), injector
+
+
+class TestRetransmission:
+    def test_certain_drops_still_deliver(self):
+        # drop_probability=1.0 drops every attempt inside the limit;
+        # attempt == limit is then lossless, so exactly `limit` drops
+        # precede one delivery.
+        plan = FaultPlan(drop_probability=1.0, retransmit_limit=3,
+                         retransmit_timeout_s=0.001)
+        env, net, injector = faulty_net(plan)
+        message = msg()
+        done = net.send(message)
+        env.run()
+        assert done.triggered and done.value is message
+        assert injector.stats.messages_dropped == 3
+        assert injector.stats.retransmissions == 3
+        # Every attempt occupies the wire and is accounted.
+        assert net.stats.total_messages == 4
+        assert net.stats.total_bytes == 4000
+
+    def test_delivery_time_includes_retransmit_timeouts(self):
+        plan = FaultPlan(drop_probability=1.0, retransmit_limit=2,
+                         retransmit_timeout_s=0.001)
+        env, net, _ = faulty_net(plan)
+        message = msg()
+        net.send(message)
+        env.run()
+        # Two lost attempts (transfer + timeout each), then one delivery.
+        expected = 2 * (TRANSFER + 0.001) + TRANSFER
+        assert message.deliver_time == pytest.approx(expected)
+
+    def test_no_drops_matches_clean_network(self):
+        env, net, injector = faulty_net(FaultPlan())
+        message = msg()
+        net.send(message)
+        env.run()
+        assert message.deliver_time == pytest.approx(TRANSFER)
+        assert injector.stats.snapshot() == {
+            key: 0 for key in injector.stats.snapshot()
+        }
+
+
+class TestDuplication:
+    def test_duplicate_accounted_twice(self):
+        plan = FaultPlan(duplicate_probability=1.0)
+        env, net, injector = faulty_net(plan)
+        done = net.send(msg())
+        env.run()
+        assert done.triggered
+        # One logical send, two wire copies — and exactly one delivery
+        # event (the duplicate is redundant traffic, not a double fire).
+        assert net.stats.total_messages == 2
+        assert injector.stats.messages_duplicated == 1
+
+
+class TestJitter:
+    def test_jitter_delays_delivery(self):
+        plan = FaultPlan(delay_jitter_s=0.005)
+        env, net, injector = faulty_net(plan)
+        message = msg()
+        net.send(message)
+        env.run()
+        assert TRANSFER <= message.deliver_time <= TRANSFER + 0.005
+        assert message.deliver_time == pytest.approx(
+            TRANSFER + injector.stats.delay_injected_s)
+
+
+class TestChargePath:
+    def test_charge_adds_retransmit_cost(self):
+        plan = FaultPlan(drop_probability=1.0, retransmit_limit=2,
+                         retransmit_timeout_s=0.001)
+        env, net, injector = faulty_net(plan)
+        elapsed = net.charge(msg())
+        assert elapsed == pytest.approx(2 * (TRANSFER + 0.001) + TRANSFER)
+        assert injector.stats.messages_dropped == 2
+        assert net.stats.total_messages == 3
+        # charge is synchronous: nothing was scheduled on the clock.
+        assert env.peek() == float("inf")
+
+    def test_charge_never_blocks_on_crash_window(self):
+        from repro.faults import CrashEvent
+
+        plan = FaultPlan(crashes=(
+            CrashEvent(node_index=1, at_s=0.0, down_for_s=10.0),
+        ))
+        env, net, _ = faulty_net(plan)
+        # The destination is down for the whole run, but charge's clock
+        # is frozen: it must complete rather than retransmit forever.
+        assert net.charge(msg()) == pytest.approx(TRANSFER)

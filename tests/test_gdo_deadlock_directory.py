@@ -78,6 +78,76 @@ class TestDeadlockDetector:
         assert edges[1] == {3, 4}
         assert edges[2] == {3, 4}
 
+    def test_pure_self_wait_is_not_a_deadlock(self):
+        # A family queued behind itself (lock upgrade paths) must not
+        # read as a one-node cycle.
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1}),
+                              blocking=frozenset({1}))
+        assert detector.find_cycle(1) is None
+        assert detector.edges().get(1, set()) == set()
+
+    def test_overlapping_cycles_share_a_family(self):
+        # 1 -> 2 -> 1 and 2 -> 3 -> 2 share family 2; search from any
+        # member must find *some* cycle, and breaking one must leave
+        # the other detectable.
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1}),
+                              blocking=frozenset({2}))
+        detector.update_entry(O1, waiting=frozenset({2}),
+                              blocking=frozenset({1, 3}))
+        detector.update_entry(O2, waiting=frozenset({3}),
+                              blocking=frozenset({2}))
+        for start in (1, 2, 3):
+            assert detector.find_cycle(start) is not None
+        # Abort family 3: its cycle dissolves, the 1<->2 cycle stays.
+        detector.drop_family(3)
+        assert set(detector.find_cycle(1)) == {1, 2}
+        assert detector.find_cycle(3) is None
+
+    def test_pick_victim_is_stable_under_rotation(self):
+        # The victim is a function of the cycle's membership, not of
+        # the node the DFS happened to enter it from.
+        detector = DeadlockDetector()
+        cycle = [4, 7, 2]
+        rotations = [cycle[i:] + cycle[:i] for i in range(len(cycle))]
+        assert {detector.pick_victim(rot) for rot in rotations} == {7}
+
+    def test_drop_family_clears_crash_aborted_edges(self):
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1}),
+                              blocking=frozenset({2}))
+        detector.update_entry(O1, waiting=frozenset({2}),
+                              blocking=frozenset({1}))
+        # Family 2 dies in a node crash: both edges involving it go,
+        # and family 1 is no longer part of any cycle.
+        detector.drop_family(2)
+        assert detector.find_cycle(1) is None
+        assert 2 not in detector.edges()
+        assert 2 not in detector.waiting_families()
+
+    def test_drop_family_keeps_unrelated_edges(self):
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1, 5}),
+                              blocking=frozenset({2, 6}))
+        detector.drop_family(5)
+        edges = detector.edges()
+        assert edges[1] == {2, 6}
+        assert 5 not in edges
+
+    def test_clear_entry_after_crash_release(self):
+        # crash_release frees a dead family's entries; clearing the
+        # entry must remove its contributed edges even if drop_family
+        # was never called for the survivors.
+        detector = DeadlockDetector()
+        detector.update_entry(O0, waiting=frozenset({1}),
+                              blocking=frozenset({2}))
+        detector.update_entry(O1, waiting=frozenset({3}),
+                              blocking=frozenset({4}))
+        detector.clear_entry(O0)
+        assert detector.find_cycle(1) is None
+        assert detector.edges() == {3: {4}}
+
 
 class TestDirectory:
     def test_requires_nodes(self):
