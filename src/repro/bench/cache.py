@@ -54,9 +54,13 @@ class ResultCache:
     # -- keys --------------------------------------------------------------
 
     def key(self, spec) -> str:
+        # Strict serialization on purpose: RunSpec validates its
+        # payload as JSON-native at construction, so a TypeError here
+        # means a spec bypassed that check — better a loud failure than
+        # a repr-based fingerprint that is unstable across processes.
         blob = json.dumps(
             {"version": self.version, "spec": spec.payload()},
-            sort_keys=True, default=str,
+            sort_keys=True,
         )
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.cluster import Cluster
 from repro.runtime.config import ClusterConfig
+from repro.util.errors import ConfigurationError
 from repro.workload.generator import generate_workload
 from repro.workload.params import WorkloadParams
 from repro.workload.runner import WorkloadRun, run_workload
@@ -61,6 +62,39 @@ def register_builder(name: str):
     return decorate
 
 
+def _require_json_native(value, path: str) -> None:
+    """Reject any payload value ``json.dumps`` could not round-trip.
+
+    The cache fingerprints ``json.dumps(payload)``: a value that only
+    serializes via a fallback ``repr`` (worst case one carrying a
+    memory address) would make the key unstable across processes —
+    silently always-missing, or colliding when the repr elides what
+    differs.  Failing at construction turns that silent hazard into a
+    loud :class:`ConfigurationError` naming the offending field.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            _require_json_native(item, f"{path}[{index}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"RunSpec payload key {key!r} at {path} is "
+                    f"{type(key).__name__}, not str — the cache key would "
+                    f"depend on json.dumps coercion"
+                )
+            _require_json_native(item, f"{path}.{key}")
+        return
+    raise ConfigurationError(
+        f"RunSpec payload value at {path} is {type(value).__name__} "
+        f"({value!r}), not JSON-native — its cache fingerprint would fall "
+        f"back to repr() and be unstable across processes"
+    )
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One deterministic cluster run, declared rather than executed.
@@ -88,6 +122,12 @@ class RunSpec:
     builder: str = ""
     builder_args: Tuple[Tuple[str, object], ...] = ()
     extractor: str = "standard"
+
+    def __post_init__(self) -> None:
+        # The cache fingerprints json.dumps(payload); anything that
+        # would serialize via a repr fallback must fail loudly here,
+        # not silently produce an always-miss (or colliding) key.
+        _require_json_native(self.payload(), "payload")
 
     def payload(self) -> Dict[str, object]:
         """Everything that determines this run's measurement, as plain

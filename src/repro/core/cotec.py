@@ -6,6 +6,11 @@ measurement" (§5).  COTEC keeps no per-page version knowledge: it
 ships every page whose latest copy is on some other node, whether or
 not the acquiring site's copy happens to be current — full object
 shipping, the behaviour of a naive distributed object system.
+
+COTEC objects usually live whole at one owner, so its gathers are
+single-source; in a batched multi-object acquisition several COTEC
+objects at a common owner still coalesce into one wire pair, and the
+gather completes when the real ``PAGE_DATA`` delivery lands.
 """
 
 from __future__ import annotations

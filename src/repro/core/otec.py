@@ -6,6 +6,10 @@ consistency at page grain: the page map's version tags identify which
 pages changed since this site last cached them, and only those move.
 After an OTEC acquisition the acquiring site is fully current, so no
 demand fetching is ever needed.
+
+OTEC shares the event-driven gather engine: transfers complete on the
+actual ``PAGE_DATA`` delivery events, and multi-object acquisitions
+batch same-owner page requests into one wire pair.
 """
 
 from __future__ import annotations

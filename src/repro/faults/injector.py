@@ -15,7 +15,11 @@ Two implementations share one interface:
 * :class:`FaultInjector` evaluates a
   :class:`~repro.faults.plan.FaultPlan` with a fixed draw order
   (drop, then duplicate, then jitter) so the fault schedule is a
-  deterministic function of ``(seed, plan)``.
+  deterministic function of ``(seed, plan)``.  Draws for messages the
+  network has tagged with a ``wire_id`` come from a sub-stream keyed
+  by ``(wire_id, attempt)``: the fate of one wire message is then a
+  pure function of ``(seed, plan, wire id, attempt)``, identical on
+  the asynchronous ``send`` and synchronous ``charge`` paths.
 """
 
 from dataclasses import dataclass, field
@@ -149,28 +153,44 @@ class FaultInjector(NullInjector):
         Probabilistic drops apply only while ``attempt`` is within the
         plan's retransmit limit — past it the channel turns lossless,
         which is what makes fair-loss delivery (and the run) terminate.
+
+        Probabilistic draws are *keyed per wire message*: once the
+        network assigns a ``wire_id``, every draw comes from a stream
+        derived from ``(wire_id, attempt)``.  A batched multi-object
+        message is therefore exactly one fault unit (not one per
+        logical page set), and the verdict for a given attempt is
+        independent of how many other messages are in flight.  The
+        draw order is fixed — drop, then duplicate, then jitter — and
+        all three are always evaluated, so a single attempt can be
+        dropped *and* duplicated (both wire copies lost) with
+        identical accounting on the asynchronous and synchronous
+        paths.  Messages that never hit the network (direct unit
+        probes) fall back to the injector's shared sequential stream.
         """
         plan = self.plan
         if not synchronous and (self.is_down(message.src, now)
                                 or self.is_down(message.dst, now)):
             self.stats.messages_dropped += 1
             return MessageFaults(dropped=True)
-        if (plan.drop_probability > 0
-                and attempt < plan.retransmit_limit
-                and self.rng.maybe(plan.drop_probability)):
-            self.stats.messages_dropped += 1
-            return MessageFaults(dropped=True)
+        rng = (self.rng if message.wire_id is None
+               else self.rng.derive("msg", message.wire_id, attempt))
+        dropped = (plan.drop_probability > 0
+                   and attempt < plan.retransmit_limit
+                   and rng.maybe(plan.drop_probability))
         duplicated = (plan.duplicate_probability > 0
-                      and self.rng.maybe(plan.duplicate_probability))
-        extra = (self.rng.uniform(0.0, plan.delay_jitter_s)
+                      and rng.maybe(plan.duplicate_probability))
+        extra = (rng.uniform(0.0, plan.delay_jitter_s)
                  if plan.delay_jitter_s > 0 else 0.0)
+        if dropped:
+            self.stats.messages_dropped += 1
         if duplicated:
             self.stats.messages_duplicated += 1
         if extra:
             self.stats.delay_injected_s += extra
-        if not duplicated and not extra:
+        if not dropped and not duplicated and not extra:
             return NO_FAULTS
-        return MessageFaults(duplicated=duplicated, extra_delay_s=extra)
+        return MessageFaults(dropped=dropped, duplicated=duplicated,
+                             extra_delay_s=extra)
 
     # -- recovery parameters ----------------------------------------------
 

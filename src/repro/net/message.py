@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from repro.util.ids import NodeId, ObjectId
 
@@ -34,6 +34,21 @@ class MessageCategory(enum.Enum):
         return self in (MessageCategory.PAGE_DATA, MessageCategory.UPDATE_PUSH)
 
 
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One object's share of a batched (multi-object) message.
+
+    ``size_bytes`` is the entry's on-wire share — its object reference
+    plus its per-object payload — so the sum of entry shares plus one
+    protocol header reconstructs the whole message size, and per-object
+    accounting can attribute exactly the bytes each object caused.
+    """
+
+    object_id: ObjectId
+    pages: Tuple[int, ...]
+    size_bytes: int
+
+
 @dataclass
 class Message:
     """One message on the simulated network.
@@ -43,6 +58,19 @@ class Message:
     the message to one shared object's consistency maintenance so the
     per-object series of Figures 2-8 can be reconstructed; pure control
     traffic leaves it ``None``.
+
+    A *batched* message carries a ``manifest`` of per-object
+    :class:`ManifestEntry` shares instead of a single ``object_id``:
+    one coalesced ``PAGE_REQUEST``/``PAGE_DATA`` pair serves several
+    objects resident at the same owner, paying the header and software
+    startup cost once.
+
+    ``wire_id`` is assigned by the network the first time the message
+    hits the wire; fault draws are keyed by it, so a batched message is
+    one fault unit regardless of how many logical page sets it carries.
+    ``attempts`` counts wire attempts (1 = no retransmission) and
+    ``send_time`` is the *first* attempt's send instant, so
+    ``deliver_time - send_time`` covers every retransmit turnaround.
     """
 
     src: NodeId
@@ -51,6 +79,9 @@ class Message:
     size_bytes: int
     object_id: Optional[ObjectId] = None
     payload: Any = None
+    manifest: Tuple[ManifestEntry, ...] = field(default=(), compare=False)
+    wire_id: Optional[int] = field(default=None, compare=False)
+    attempts: int = field(default=0, compare=False)
     send_time: float = field(default=0.0, compare=False)
     deliver_time: float = field(default=0.0, compare=False)
 
@@ -67,3 +98,24 @@ class Message:
         all network accounting.
         """
         return self.src == self.dst
+
+    def attributions(self) -> Tuple[Tuple[ObjectId, int], ...]:
+        """Per-object ``(object id, bytes)`` shares of this message.
+
+        Batched messages split by manifest entry (the one header is
+        attributed to the first entry, mirroring how an unbatched run
+        would have charged that object a header of its own); plain
+        messages attribute everything to ``object_id``.
+        """
+        if self.manifest:
+            header = self.size_bytes - sum(
+                entry.size_bytes for entry in self.manifest
+            )
+            return tuple(
+                (entry.object_id,
+                 entry.size_bytes + (header if index == 0 else 0))
+                for index, entry in enumerate(self.manifest)
+            )
+        if self.object_id is None:
+            return ()
+        return ((self.object_id, self.size_bytes),)

@@ -94,6 +94,18 @@ class Network:
         self.stats = NetworkStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.injector = injector if injector is not None else NULL_INJECTOR
+        self._next_wire_id = 0
+
+    def _tag_wire(self, message: Message) -> None:
+        """Assign the message its wire identity (once, on first send).
+
+        Fault draws are keyed by this id, so one wire message — however
+        many logical page sets its manifest coalesces — is exactly one
+        fault unit, with one verdict stream across its attempts.
+        """
+        if message.wire_id is None:
+            message.wire_id = self._next_wire_id
+            self._next_wire_id += 1
 
     def send(self, message: Message) -> Event:
         """Send a message; returns an event firing at delivery time.
@@ -108,6 +120,7 @@ class Network:
             message.deliver_time = self.env.now
             done.succeed(message)
             return done
+        self._tag_wire(message)
         self._transmit(message, done, attempt=0)
         return done
 
@@ -117,15 +130,25 @@ class Network:
         Every attempt — including dropped ones and duplicates — is
         accounted in :class:`NetworkStats` and traced: lost wire time
         is real wire time, which is exactly the cost model distortion
-        a robustness experiment wants to measure.
+        a robustness experiment wants to measure.  ``message.send_time``
+        is *not* touched here: it keeps the first attempt's instant, so
+        ``deliver_time - send_time`` spans every retransmit turnaround.
         """
-        message.send_time = self.env.now
+        message.attempts = attempt + 1
         faults = self.injector.message_faults(message, attempt, self.env.now)
         transfer_time = (self.config.transfer_time(message.size_bytes)
                          + faults.extra_delay_s)
-        if faults.dropped:
+        self.stats.record(message, transfer_time)
+        self.tracer.message(message, transfer_time)
+        if faults.duplicated:
+            # The duplicate burns wire time whether or not the primary
+            # copy survives; the receiver discards it on arrival
+            # (delivery events are one-shot by construction).
             self.stats.record(message, transfer_time)
-            self.tracer.message(message, transfer_time)
+            self.tracer.fault_duplicate(message)
+        if faults.extra_delay_s:
+            self.tracer.fault_delay(message, faults.extra_delay_s)
+        if faults.dropped:
             self.tracer.fault_drop(message, attempt)
             self.injector.stats.retransmissions += 1
             self.tracer.fault_retransmit(message, attempt + 1)
@@ -138,15 +161,7 @@ class Network:
             self.env.timeout(retry_after).add_callback(retransmit)
             return
         message.deliver_time = self.env.now + transfer_time
-        self.stats.record(message, transfer_time)
-        self.tracer.message(message, transfer_time)
-        if faults.duplicated:
-            # The duplicate burns wire time and is then discarded by the
-            # receiver (delivery events are one-shot by construction).
-            self.stats.record(message, transfer_time)
-            self.tracer.fault_duplicate(message)
-        if faults.extra_delay_s:
-            self.tracer.fault_delay(message, faults.extra_delay_s)
+        self.stats.record_attempts(message)
 
         def deliver(event, msg=message, target=done):
             target.succeed(msg)
@@ -170,15 +185,24 @@ class Network:
         if message.is_local:
             message.deliver_time = self.env.now
             return 0.0
+        self._tag_wire(message)
         total_delay = 0.0
         attempt = 0
         while True:
+            message.attempts = attempt + 1
             faults = self.injector.message_faults(
                 message, attempt, self.env.now, synchronous=True)
             transfer_time = (self.config.transfer_time(message.size_bytes)
                              + faults.extra_delay_s)
             self.stats.record(message, transfer_time)
             self.tracer.message(message, transfer_time)
+            if faults.duplicated:
+                # Same rule as the asynchronous path: the duplicate's
+                # wire copy is accounted on every attempt it rides.
+                self.stats.record(message, transfer_time)
+                self.tracer.fault_duplicate(message)
+            if faults.extra_delay_s:
+                self.tracer.fault_delay(message, faults.extra_delay_s)
             if not faults.dropped:
                 break
             self.tracer.fault_drop(message, attempt)
@@ -188,11 +212,7 @@ class Network:
                             + self.injector.retransmit_timeout_s())
             attempt += 1
         message.deliver_time = self.env.now + total_delay + transfer_time
-        if faults.duplicated:
-            self.stats.record(message, transfer_time)
-            self.tracer.fault_duplicate(message)
-        if faults.extra_delay_s:
-            self.tracer.fault_delay(message, faults.extra_delay_s)
+        self.stats.record_attempts(message)
         return total_delay + transfer_time
 
     def charge_group(self, template: Message, destinations) -> float:

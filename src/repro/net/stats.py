@@ -28,11 +28,18 @@ class ObjectTraffic:
     data_messages: int = 0
 
     def record(self, message: Message, transfer_time: float) -> None:
-        self.bytes += message.size_bytes
+        self.record_share(message.size_bytes, transfer_time,
+                          message.category.is_consistency_data)
+
+    def record_share(self, size_bytes: int, time: float,
+                     is_data: bool) -> None:
+        """Account one message — or one object's share of a batched
+        message (wire time split pro rata by bytes)."""
+        self.bytes += size_bytes
         self.messages += 1
-        self.time += transfer_time
-        if message.category.is_consistency_data:
-            self.data_bytes += message.size_bytes
+        self.time += time
+        if is_data:
+            self.data_bytes += size_bytes
             self.data_messages += 1
 
 
@@ -53,33 +60,48 @@ class NetworkStats:
     total_bytes: int = 0
     total_messages: int = 0
     total_time: float = 0.0
+    total_attempts: int = 0
     by_category_bytes: Dict[MessageCategory, int] = field(
         default_factory=lambda: defaultdict(int)
     )
     by_category_messages: Dict[MessageCategory, int] = field(
         default_factory=lambda: defaultdict(int)
     )
+    by_attempts: Dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
     by_object: Dict[ObjectId, ObjectTraffic] = field(default_factory=dict)
     by_node: Dict[object, NodeTraffic] = field(default_factory=dict)
 
     def record(self, message: Message, transfer_time: float) -> None:
-        """Account one delivered (non-local) message."""
+        """Account one wire copy (attempt or duplicate) of a message."""
         self.total_bytes += message.size_bytes
         self.total_messages += 1
         self.total_time += transfer_time
         self.by_category_bytes[message.category] += message.size_bytes
         self.by_category_messages[message.category] += 1
-        if message.object_id is not None:
-            traffic = self.by_object.get(message.object_id)
+        is_data = message.category.is_consistency_data
+        for object_id, share_bytes in message.attributions():
+            traffic = self.by_object.get(object_id)
             if traffic is None:
-                traffic = self.by_object[message.object_id] = ObjectTraffic()
-            traffic.record(message, transfer_time)
+                traffic = self.by_object[object_id] = ObjectTraffic()
+            share_time = (
+                transfer_time * share_bytes / message.size_bytes
+                if message.size_bytes else transfer_time
+            )
+            traffic.record_share(share_bytes, share_time, is_data)
         sender = self.by_node.setdefault(message.src, NodeTraffic())
         sender.sent_bytes += message.size_bytes
         sender.sent_messages += 1
         receiver = self.by_node.setdefault(message.dst, NodeTraffic())
         receiver.received_bytes += message.size_bytes
         receiver.received_messages += 1
+
+    def record_attempts(self, message: Message) -> None:
+        """Account one *delivered* message's wire-attempt count (1 =
+        first attempt got through; >1 means retransmissions)."""
+        self.total_attempts += message.attempts
+        self.by_attempts[message.attempts] += 1
 
     # -- derived views used by the benches --------------------------------
 
@@ -128,8 +150,13 @@ class NetworkStats:
             "total_bytes": self.total_bytes,
             "total_messages": self.total_messages,
             "total_time": self.total_time,
+            "total_attempts": self.total_attempts,
             "consistency_bytes": self.consistency_bytes(),
             "node_imbalance": self.node_imbalance(),
+            "by_attempts": {
+                str(attempts): count
+                for attempts, count in sorted(self.by_attempts.items())
+            },
             "by_category_bytes": {
                 category.value: count
                 for category, count in sorted(

@@ -151,6 +151,13 @@ class NullTracer:
     def transfer_end(self, token, cause, shipped, data_bytes):
         pass
 
+    def transfer_install(self, node, object_id, pages, cause, delivered_at):
+        pass
+
+    def transfer_batch(self, node, owner, object_ids, request_bytes,
+                       data_bytes, saved_messages):
+        pass
+
     def demand_fetch(self, node, object_id, pages, shipped, data_bytes,
                      is_write, delay):
         pass
@@ -363,6 +370,33 @@ class Tracer(NullTracer):
         self.metrics.counter("transfer.pages", cause=cause).inc(len(shipped))
         self.end(token, shipped=shipped, data_bytes=data_bytes)
 
+    def transfer_install(self, node, object_id, pages, cause, delivered_at):
+        """Pages entered the acquiring store — strictly after the last
+        ``PAGE_DATA`` delivery event of the gather that carried them;
+        ``delivered_at`` records those responses' delivery instants."""
+        self.metrics.counter("transfer.installs", cause=cause).inc()
+        self.instant(
+            f"transfer.install {object_id!r}", CAT_TRANSFER, node=node,
+            track=f"gather {object_id!r}",
+            object=object_id, pages=pages, cause=cause,
+            delivered_at=delivered_at,
+        )
+
+    def transfer_batch(self, node, owner, object_ids, request_bytes,
+                       data_bytes, saved_messages):
+        """One coalesced multi-object request/response pair replaced
+        ``saved_messages`` unbatched wire messages to the same owner."""
+        self.metrics.counter("transfer.batches").inc()
+        self.metrics.counter("transfer.messages_saved_by_batching").inc(
+            saved_messages
+        )
+        self.instant(
+            "transfer.batch", CAT_TRANSFER, node=node,
+            track=f"net to N{owner.value}",
+            owner=owner, objects=object_ids, request_bytes=request_bytes,
+            data_bytes=data_bytes, saved_messages=saved_messages,
+        )
+
     def demand_fetch(self, node, object_id, pages, shipped, data_bytes,
                      is_write, delay):
         self.metrics.counter("transfer.bytes", cause="demand").inc(data_bytes)
@@ -409,15 +443,21 @@ class Tracer(NullTracer):
         self.metrics.counter(
             "net.received_bytes", node=message.dst.value
         ).inc(message.size_bytes)
+        args = {
+            "category": category, "src": message.src,
+            "dst": message.dst, "bytes": message.size_bytes,
+            "object": message.object_id,
+        }
+        if message.manifest:
+            args["objects"] = [entry.object_id for entry in message.manifest]
+        # Stamped with the clock, not message.send_time: send_time is
+        # pinned to the first attempt, while this event records the
+        # wire occupancy of the *current* attempt.
         self.events.append(TraceEvent(
-            ts=message.send_time, name=f"msg:{category}", category=CAT_NET,
+            ts=self._clock(), name=f"msg:{category}", category=CAT_NET,
             phase="X", dur=transfer_time, node=message.src.value,
             track=f"net to N{message.dst.value}",
-            args=sanitize({
-                "category": category, "src": message.src,
-                "dst": message.dst, "bytes": message.size_bytes,
-                "object": message.object_id,
-            }),
+            args=sanitize(args),
         ))
 
     # -- fault injection ---------------------------------------------------

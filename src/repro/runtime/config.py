@@ -54,6 +54,13 @@ class ClusterConfig:
             predicted objects' locks, demoted to retained so
             sub-transactions acquire them locally), or
             ``"locks+pages"`` (also pre-fetch their stale pages).
+        batch_transfers: coalesce the page requests of one multi-object
+            acquisition into a single ``PAGE_REQUEST``/``PAGE_DATA``
+            pair per owner node (paying the software startup cost
+            once), when several requested objects' up-to-date pages
+            live at the same owner.  Single-object gathers are
+            byte-identical either way; disabling reproduces the
+            classic one-pair-per-object wire format.
         trace: record every protocol decision (transaction spans, lock
             grants/waits, GDO forwards, page transfers, per-message
             network events) with the :mod:`repro.obs` tracer; off by
@@ -83,6 +90,7 @@ class ClusterConfig:
     recovery: str = "undo"
     class_protocols: tuple = ()
     prefetch: str = "off"
+    batch_transfers: bool = True
     trace: bool = False
     faults: Optional[FaultPlan] = None
 

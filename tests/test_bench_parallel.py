@@ -199,3 +199,42 @@ class TestResultJson:
         data = result.to_json()
         assert data["meta"] == {"fine": 1}
         json.dumps(data)  # the whole envelope must serialize
+
+
+class TestRunSpecValidation:
+    """Non-JSON-native payloads must fail at construction, not surface
+    as a silent repr-keyed (always-miss or colliding) cache entry."""
+
+    def test_non_json_native_builder_args_rejected(self):
+        from repro.util.errors import ConfigurationError
+
+        class Opaque:
+            pass
+
+        with pytest.raises(ConfigurationError, match="builder_args"):
+            RunSpec(
+                driver="d", key="k",
+                config=ClusterConfig(num_nodes=3, seed=3),
+                builder="custom", builder_args=(("knob", Opaque()),),
+            )
+
+    def test_non_string_dict_keys_rejected(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="key"):
+            RunSpec(
+                driver="d", key="k",
+                config=ClusterConfig(num_nodes=3, seed=3),
+                builder="custom", builder_args=(("map", {1: "x"}),),
+            )
+
+    def test_json_native_payload_accepted_and_strictly_keyed(self, tmp_path):
+        spec = RunSpec(
+            driver="d", key="k",
+            config=ClusterConfig(num_nodes=3, seed=3),
+            builder="custom",
+            builder_args=(("knob", [1, 2.5, "s", None, True]),),
+        )
+        cache = ResultCache(root=str(tmp_path / "c"), version="v1")
+        # The strict (no default=str) fingerprint round-trips.
+        assert cache.key(spec) == cache.key(spec)

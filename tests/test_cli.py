@@ -105,7 +105,7 @@ class TestVersion:
             from importlib.metadata import version
             expected = version("repro")
         except Exception:
-            expected = "1.0.0"  # source-tree fallback
+            expected = "1.1.0"  # source-tree fallback
         assert repro.__version__ == expected
 
 

@@ -115,3 +115,113 @@ class TestChargePath:
         # The destination is down for the whole run, but charge's clock
         # is frozen: it must complete rather than retransmit forever.
         assert net.charge(msg()) == pytest.approx(TRANSFER)
+
+
+class TestSendTimePreservation:
+    def test_send_time_pins_first_attempt(self):
+        # Retransmissions must not overwrite send_time: the message's
+        # latency (deliver - send) spans every retransmit turnaround.
+        plan = FaultPlan(drop_probability=1.0, retransmit_limit=2,
+                         retransmit_timeout_s=0.001)
+        env, net, _ = faulty_net(plan)
+        message = msg()
+
+        def late_send():
+            yield env.timeout(0.5)  # start late, not at t=0
+            net.send(message)
+
+        env.run_process(late_send())
+        env.run()
+        assert message.send_time == pytest.approx(0.5)
+        assert message.deliver_time - message.send_time == pytest.approx(
+            2 * (TRANSFER + 0.001) + TRANSFER)
+
+    def test_attempts_accounted_in_stats(self):
+        plan = FaultPlan(drop_probability=1.0, retransmit_limit=3,
+                         retransmit_timeout_s=0.001)
+        env, net, _ = faulty_net(plan)
+        net.send(msg())
+        clean = msg()
+        clean.wire_id = None
+        net.send(clean)
+        env.run()
+        # First message: 3 drops + 1 delivery = 4 attempts; the second
+        # message's draws are keyed by its own wire id, so with this
+        # seed it also retries independently of the first.
+        stats = net.stats
+        assert stats.total_attempts == sum(
+            attempts * count for attempts, count in stats.by_attempts.items()
+        )
+        assert sum(stats.by_attempts.values()) == 2
+        assert stats.by_attempts[4] >= 1
+        assert stats.snapshot()["total_attempts"] == stats.total_attempts
+
+
+class TestSendChargeParity:
+    """Drop + duplicate + jitter draws are keyed per (wire id, attempt),
+    so the asynchronous send loop and the synchronous charge loop make
+    byte-identical accounting decisions for the same wire messages."""
+
+    PLAN = FaultPlan(drop_probability=0.3, duplicate_probability=0.25,
+                     delay_jitter_s=0.002, retransmit_limit=4,
+                     retransmit_timeout_s=0.001)
+
+    def run_send(self, count, seed=9):
+        env, net, injector = faulty_net(self.PLAN, seed=seed)
+        messages = [msg() for _ in range(count)]
+        for message in messages:
+            net.send(message)
+        env.run()
+        return net, injector, messages
+
+    def run_charge(self, count, seed=9):
+        env, net, injector = faulty_net(self.PLAN, seed=seed)
+        messages = [msg() for _ in range(count)]
+        for message in messages:
+            net.charge(message)
+        return net, injector, messages
+
+    def test_accounting_is_byte_identical_across_paths(self):
+        sent_net, sent_inj, sent = self.run_send(20)
+        charged_net, charged_inj, charged = self.run_charge(20)
+        # Same wire ids in the same order -> same keyed draws -> the
+        # two paths agree message by message...
+        for sent_msg, charged_msg in zip(sent, charged):
+            assert sent_msg.wire_id == charged_msg.wire_id
+            assert sent_msg.attempts == charged_msg.attempts
+            assert sent_msg.deliver_time == pytest.approx(
+                charged_msg.deliver_time)
+        # ...and in aggregate, down to the exact bytes and fault tally
+        # (total_time is a float sum whose order differs between the
+        # event loop and the synchronous loop — 1-ulp tolerance).
+        sent_snapshot = sent_net.stats.snapshot()
+        charged_snapshot = charged_net.stats.snapshot()
+        assert sent_snapshot.keys() == charged_snapshot.keys()
+        for key, value in sent_snapshot.items():
+            if isinstance(value, float):
+                assert value == pytest.approx(charged_snapshot[key]), key
+            else:
+                assert value == charged_snapshot[key], key
+        assert sent_inj.stats.snapshot() == pytest.approx(
+            charged_inj.stats.snapshot())
+        # The scenario exercised all three fault kinds.
+        assert sent_inj.stats.messages_dropped > 0
+        assert sent_inj.stats.messages_duplicated > 0
+        assert sent_inj.stats.delay_injected_s > 0
+
+    def test_duplicate_of_dropped_attempt_accounted_on_both_paths(self):
+        # Drop and duplicate can hit the same attempt; both wire
+        # copies burn accounted time on either path.
+        plan = FaultPlan(drop_probability=1.0, duplicate_probability=1.0,
+                         retransmit_limit=1, retransmit_timeout_s=0.001)
+        env, net, _ = faulty_net(plan)
+        done = net.send(msg())
+        env.run()
+        assert done.triggered
+        # Attempt 0 (dropped, duplicated) + attempt 1 (delivered,
+        # duplicated) = 4 wire copies.
+        assert net.stats.total_messages == 4
+        env2, charge_net, _ = faulty_net(plan)
+        charge_net.charge(msg())
+        assert charge_net.stats.total_messages == 4
+        assert charge_net.stats.snapshot() == net.stats.snapshot()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Guard the wire-message budget of the claims-messages benchmark.
+
+Re-runs the ``claims-messages`` experiment at a pinned (seed, scale,
+scenario) point and compares the per-protocol ``PAGE_REQUEST`` counts
+— plus total message counts — against the committed baseline envelope
+in ``benchmarks/baselines/claims_messages.json``.  Any increase fails
+the build: transfer-pipeline changes (batching above all) may only
+hold or shrink the message budget, never silently grow it.
+
+Usage:
+    PYTHONPATH=src python tools/check_message_baseline.py
+    PYTHONPATH=src python tools/check_message_baseline.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks", "baselines", "claims_messages.json",
+)
+
+
+def measure(scenario: str, seed: int, num_nodes: int, scale: float):
+    from repro.bench.experiments import plan_claims_messages
+    from repro.bench.parallel import ExperimentRunner
+
+    plan = plan_claims_messages(scenario, seed=seed, num_nodes=num_nodes,
+                                scale=scale)
+    measurements = ExperimentRunner().execute(plan.specs)
+    counts = {}
+    for spec, measurement in zip(plan.specs, measurements):
+        by_category = measurement["network"]["by_category"]
+        counts[spec.key] = {
+            "page_request_messages": by_category.get(
+                "page_request", {}).get("messages", 0),
+            "total_messages": measurement["network"]["total_messages"],
+        }
+    return counts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    parser.add_argument("--scale", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_SCALE",
+                                                     "0.1")))
+    args = parser.parse_args(argv)
+
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    point = baseline["point"]
+    if args.scale != point["scale"]:
+        print(f"note: measuring at --scale {args.scale} but the baseline "
+              f"was recorded at scale {point['scale']}; comparing anyway "
+              "is meaningless, so the pinned scale is used.")
+    counts = measure(point["scenario"], point["seed"], point["num_nodes"],
+                     point["scale"])
+
+    if args.update:
+        baseline["counts"] = counts
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    failures = []
+    for protocol, expected in sorted(baseline["counts"].items()):
+        got = counts.get(protocol)
+        if got is None:
+            failures.append(f"{protocol}: missing from measurement")
+            continue
+        for metric in ("page_request_messages", "total_messages"):
+            if got[metric] > expected[metric]:
+                failures.append(
+                    f"{protocol}.{metric}: {got[metric]} > baseline "
+                    f"{expected[metric]}"
+                )
+            else:
+                print(f"ok: {protocol}.{metric} = {got[metric]} "
+                      f"(baseline {expected[metric]})")
+    if failures:
+        print("message budget regression:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("If the increase is intentional, regenerate with "
+              "tools/check_message_baseline.py --update", file=sys.stderr)
+        return 1
+    print("message budget within baseline envelope.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
