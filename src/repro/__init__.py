@@ -73,6 +73,13 @@ from repro.bench import (  # noqa: E402
     ResultCache,
     run_experiment,
 )
+from repro.check import (  # noqa: E402
+    FuzzTask,
+    check_reference_model,
+    run_campaign,
+    run_invariants,
+    run_task,
+)
 
 __all__ = [
     "Array",
@@ -87,6 +94,7 @@ __all__ = [
     "ExperimentRunner",
     "FAULT_PRESETS",
     "FaultPlan",
+    "FuzzTask",
     "LockTimeoutError",
     "NodeCrashError",
     "ResultCache",
@@ -105,10 +113,14 @@ __all__ = [
     "TxnTicket",
     "check_serializability",
     "check_conflict_serializability",
+    "check_reference_model",
     "method",
     "preset_network",
     "replay_serially",
+    "run_campaign",
     "run_experiment",
+    "run_invariants",
+    "run_task",
     "shared_class",
     "__version__",
 ]

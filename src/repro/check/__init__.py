@@ -1,0 +1,67 @@
+"""repro.check — deterministic concurrency testing for the protocol.
+
+Four pieces, layered on the :mod:`repro.obs` trace stream and the
+:mod:`repro.sim.tiebreak` schedule-exploration hook:
+
+* :mod:`repro.check.reference` — an executable nested-O2PL reference
+  model (pure-python lock table with Moss retention/inheritance) that
+  re-judges every grant in a trace against independently coded rules;
+* :mod:`repro.check.invariants` — standalone trace invariant checkers
+  (single-writer/multi-reader, retained-locks-only-to-descendants,
+  page-version monotonicity, commit-order consistency);
+* :mod:`repro.check.explorer` — one seed, one reproducible perturbed
+  schedule: :class:`FuzzTask` / :func:`run_task` / :func:`minimize`;
+* :mod:`repro.check.fuzz` — campaigns over seeds x protocols x fault
+  presets with failure minimization and trace artifacts
+  (the ``repro fuzz`` CLI).
+"""
+
+from repro.check.events import TxnRef, Violation, parse_object, parse_txn
+from repro.check.explorer import (
+    DEFAULT_POLICIES,
+    FuzzReport,
+    FuzzTask,
+    minimize,
+    repro_command,
+    run_task,
+)
+from repro.check.fuzz import (
+    ALL_PROTOCOLS,
+    CampaignResult,
+    Failure,
+    run_campaign,
+    trace_to_jsonl,
+)
+from repro.check.invariants import (
+    check_commit_order,
+    check_page_version_monotonic,
+    check_retained_descendants,
+    check_single_writer,
+    run_invariants,
+)
+from repro.check.reference import ReferenceModel, check_reference_model
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "CampaignResult",
+    "DEFAULT_POLICIES",
+    "Failure",
+    "FuzzReport",
+    "FuzzTask",
+    "ReferenceModel",
+    "TxnRef",
+    "Violation",
+    "check_commit_order",
+    "check_page_version_monotonic",
+    "check_reference_model",
+    "check_retained_descendants",
+    "check_single_writer",
+    "minimize",
+    "parse_object",
+    "parse_txn",
+    "repro_command",
+    "run_campaign",
+    "run_invariants",
+    "run_task",
+    "trace_to_jsonl",
+]

@@ -1,0 +1,83 @@
+"""Shared vocabulary for trace-stream checkers.
+
+The :mod:`repro.obs` tracer sanitizes every event to JSON primitives:
+transaction ids become ``"T5"`` / ``"T5/r3"``, object ids ``"O3"``,
+node ids ``"N0"``.  The checkers in this package consume either live
+:class:`~repro.obs.tracer.TraceEvent` objects or the dicts round-tripped
+through JSONL, so this module provides the tiny parsing layer both
+representations share, plus the :class:`Violation` record every checker
+emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+MODE_READ = "R"
+MODE_WRITE = "W"
+
+
+def modes_conflict(left: str, right: str) -> bool:
+    """Multiple readers / single writer, on sanitized mode strings."""
+    return left == MODE_WRITE or right == MODE_WRITE
+
+
+def strongest_mode(left: str, right: str) -> str:
+    return MODE_WRITE if MODE_WRITE in (left, right) else MODE_READ
+
+
+@dataclass(frozen=True, order=True)
+class TxnRef:
+    """A sanitized transaction id: serial plus family root serial."""
+
+    serial: int
+    root: int
+
+    @property
+    def is_root(self) -> bool:
+        return self.serial == self.root
+
+    def __repr__(self) -> str:
+        if self.is_root:
+            return f"T{self.serial}"
+        return f"T{self.serial}/r{self.root}"
+
+
+def parse_txn(text: str) -> TxnRef:
+    """Parse the sanitized ``repr`` of a TxnId (``T5`` or ``T5/r3``)."""
+    body = text[1:]
+    serial, _, root = body.partition("/r")
+    return TxnRef(int(serial), int(root) if root else int(serial))
+
+
+def parse_object(text: str) -> int:
+    """Parse the sanitized ``repr`` of an ObjectId (``O3``)."""
+    return int(text[1:])
+
+
+def event_dicts(events: Iterable) -> List[Dict]:
+    """Normalize a trace stream to plain dicts (JSONL-shaped)."""
+    out = []
+    for event in events:
+        out.append(event.to_dict() if hasattr(event, "to_dict") else event)
+    return out
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One protocol-rule or invariant breach found in a trace."""
+
+    checker: str
+    index: int          # position in the event stream
+    ts: float           # virtual time of the offending event
+    message: str
+
+    def __str__(self) -> str:
+        return (f"[{self.checker}] event #{self.index} @t={self.ts:.6f}: "
+                f"{self.message}")
+
+
+def lineage_of(args: Dict) -> Tuple[int, ...]:
+    """Ancestor serials recorded on the event (parent first, root last)."""
+    return tuple(args.get("lineage") or ())

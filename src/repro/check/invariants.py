@@ -1,0 +1,277 @@
+"""Trace invariant checkers.
+
+Each checker is a small, independent pass over the sanitized trace
+stream; none shares state with the others or with the reference model
+(:mod:`repro.check.reference`), so a bug has to fool several disjoint
+re-implementations of the paper's rules to slip through:
+
+* :func:`check_single_writer` — at most one family per object when any
+  present family holds or retains a WRITE lock (multiple readers /
+  single writer at family granularity);
+* :func:`check_retained_descendants` — a retained lock admits, in a
+  conflicting mode, only the retainer itself and its descendants
+  (Moss retention; read retentions still share with foreign readers);
+* :func:`check_page_version_monotonic` — page installs never regress a
+  page's version (the GDO page map always points at the most
+  up-to-date copy, so a gather shipping an older version than one
+  already seen means a stale page map);
+* :func:`check_commit_order` — conflicting grant order must agree with
+  root commit order (strictness: under strict O2PL the earlier
+  conflicting accessor commits first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.events import (
+    Violation,
+    TxnRef,
+    event_dicts,
+    lineage_of,
+    modes_conflict,
+    parse_object,
+    parse_txn,
+    strongest_mode,
+)
+
+#: Grant-shaped lock events: (name prefix, grant predicate).
+def _iter_grants(events):
+    """Yield ``(index, ts, args, mode)`` for every grant in the stream:
+    immediate grants, granted waits, and granted prefetches."""
+    for index, event in enumerate(events):
+        if event.get("category") != "lock":
+            continue
+        name = event.get("name", "")
+        args = event.get("args", {})
+        if name.startswith("lock.grant "):
+            yield index, event.get("ts", 0.0), args, args.get("mode")
+        elif name.startswith("lock.wait ") and args.get("granted"):
+            yield index, event.get("ts", 0.0), args, args.get("mode")
+        elif name.startswith("lock.prefetch ") and (
+            args.get("outcome") == "granted"
+        ):
+            yield index, event.get("ts", 0.0), args, args.get("mode") or "W"
+
+
+def check_single_writer(events) -> List[Violation]:
+    """Family-granularity single-writer / multi-reader exclusion."""
+    events = event_dicts(events)
+    violations: List[Violation] = []
+    # Per object: family root -> strongest mode present (held/retained).
+    present: Dict[int, Dict[int, str]] = {}
+    grants = {index: (ts, args, mode)
+              for index, ts, args, mode in _iter_grants(events)}
+    for index, event in enumerate(events):
+        name = event.get("name", "")
+        args = event.get("args", {})
+        if index in grants:
+            ts, args, mode = grants[index]
+            mode = mode or "W"
+            txn = parse_txn(args["txn"])
+            obj = parse_object(args["object"])
+            families = present.setdefault(obj, {})
+            for other, other_mode in sorted(families.items()):
+                if other == txn.root:
+                    continue
+                if modes_conflict(other_mode, mode):
+                    violations.append(Violation(
+                        "invariant.single-writer", index, ts,
+                        f"O{obj}: family {txn.root} granted {mode} while "
+                        f"family {other} is present with {other_mode}",
+                    ))
+            families[txn.root] = strongest_mode(
+                families.get(txn.root, "R"), mode
+            )
+        elif name == "lock.release":
+            root = args.get("root")
+            for oname in args.get("objects", ()):
+                present.get(parse_object(oname), {}).pop(root, None)
+        elif name.startswith("fault.crash_abort"):
+            root = args.get("root")
+            for families in present.values():
+                families.pop(root, None)
+    return violations
+
+
+def check_retained_descendants(events) -> List[Violation]:
+    """Retained locks admit only compatible strangers (Moss rule 1a).
+
+    A *write* retention admits nobody outside the retainer's
+    descendants; a *read* retention still shares with foreign readers.
+    The mode qualifier is load-bearing for trace replay: grants are
+    recorded at delivery time, so a legally admitted foreign reader
+    can appear in the trace just after the read-holding family
+    pre-committed its hold into a read retention.  Held modes are
+    therefore tracked alongside retentions, so inheritance moves the
+    *actual* strongest mode up the tree instead of assuming WRITE.
+    """
+    events = event_dicts(events)
+    violations: List[Violation] = []
+    # Per object: transaction -> held / retained mode.
+    holds: Dict[int, Dict[TxnRef, str]] = {}
+    retains: Dict[int, Dict[TxnRef, str]] = {}
+
+    def drop_family(root, objects=None):
+        tables = [holds, retains] if objects is None else [
+            {obj: table.get(obj, {})}
+            for table in (holds, retains) for obj in objects
+        ]
+        for per_object in tables:
+            for table in per_object.values():
+                for ref in [r for r in table if r.root == root]:
+                    del table[ref]
+
+    for index, event in enumerate(events):
+        name = event.get("name", "")
+        category = event.get("category", "")
+        args = event.get("args", {})
+        ts = event.get("ts", 0.0)
+        if category == "lock":
+            grant_mode: Optional[str] = None
+            if name.startswith("lock.grant "):
+                grant_mode = args.get("mode")
+            elif name.startswith("lock.wait ") and args.get("granted"):
+                grant_mode = args.get("mode")
+            elif name.startswith("lock.prefetch ") and (
+                args.get("outcome") == "granted"
+            ):
+                grant_mode = args.get("mode") or "W"
+            if grant_mode is not None:
+                txn = parse_txn(args["txn"])
+                obj = parse_object(args["object"])
+                ancestors = set(lineage_of(args))
+                for retainer, retained_mode in sorted(
+                    retains.get(obj, {}).items()
+                ):
+                    if retainer == txn or retainer.serial in ancestors:
+                        continue
+                    if not modes_conflict(retained_mode, grant_mode):
+                        continue
+                    violations.append(Violation(
+                        "invariant.retained-descendants", index, ts,
+                        f"O{obj}: {txn!r} admitted ({grant_mode}) while "
+                        f"{retainer!r} retains the lock "
+                        f"({retained_mode}) and is not an ancestor",
+                    ))
+                if name.startswith("lock.prefetch "):
+                    retains.setdefault(obj, {})[txn] = strongest_mode(
+                        retains.get(obj, {}).get(txn, "R"), grant_mode
+                    )
+                else:
+                    holds.setdefault(obj, {})[txn] = strongest_mode(
+                        holds.get(obj, {}).get(txn, "R"), grant_mode
+                    )
+            elif name == "lock.inherit":
+                txn = parse_txn(args["txn"])
+                parent = parse_txn(args["parent"])
+                for oname in args.get("objects", ()):
+                    obj = parse_object(oname)
+                    held = holds.setdefault(obj, {}).pop(txn, None)
+                    table = retains.setdefault(obj, {})
+                    retained = table.pop(txn, None)
+                    moved = strongest_mode(held or "R", retained or "R")
+                    table[parent] = strongest_mode(
+                        table.get(parent, "R"), moved
+                    )
+            elif name == "lock.release":
+                drop_family(args.get("root"),
+                            [parse_object(o)
+                             for o in args.get("objects", ())])
+        elif category == "txn" and event.get("phase") == "X":
+            txn = parse_txn(args["txn"])
+            if not txn.is_root and args.get("outcome") == "abort":
+                for table in list(holds.values()) + list(retains.values()):
+                    table.pop(txn, None)
+            elif txn.is_root:
+                drop_family(txn.root)
+        elif name.startswith("fault.crash_abort"):
+            drop_family(args.get("root"))
+    return violations
+
+
+def check_page_version_monotonic(events) -> List[Violation]:
+    """Installed page versions never regress (no stale installs).
+
+    Strict O2PL quiesces an object's writers while it is being read or
+    shipped, so across the whole cluster the version installed for one
+    ``(object, page)`` can only grow: a regression means the page map
+    pointed a gather at a stale owner.
+    """
+    events = event_dicts(events)
+    violations: List[Violation] = []
+    seen: Dict[Tuple[str, str], int] = {}
+    install_names = ("transfer.install", "transfer.demand", "transfer.push")
+    for index, event in enumerate(events):
+        name = event.get("name", "")
+        if not name.startswith(install_names):
+            continue
+        args = event.get("args", {})
+        versions = args.get("versions") or {}
+        obj = args.get("object")
+        for page, version in sorted(versions.items()):
+            key = (obj, str(page))
+            prior = seen.get(key)
+            if prior is not None and version < prior:
+                violations.append(Violation(
+                    "invariant.page-version", index, event.get("ts", 0.0),
+                    f"{obj} page {page}: installed version {version} after "
+                    f"version {prior} was already current (stale page map)",
+                ))
+            else:
+                seen[key] = version
+    return violations
+
+
+def check_commit_order(events) -> List[Violation]:
+    """Conflicting grant order must agree with root commit order.
+
+    Strict O2PL holds every lock to root commit/abort, so if committed
+    family A was granted a conflicting lock on an object before
+    committed family B, then A must commit before B.
+    """
+    events = event_dicts(events)
+    violations: List[Violation] = []
+    commit_pos: Dict[int, int] = {}
+    for index, event in enumerate(events):
+        if event.get("category") != "txn" or event.get("phase") != "X":
+            continue
+        args = event.get("args", {})
+        txn = parse_txn(args["txn"])
+        if txn.is_root and args.get("outcome") == "commit":
+            commit_pos[txn.root] = index
+    # Per object, the committed families' grants in trace order.
+    grants_by_object: Dict[int, List[Tuple[int, int, str, float]]] = {}
+    for index, ts, args, mode in _iter_grants(events):
+        txn = parse_txn(args["txn"])
+        if txn.root not in commit_pos:
+            continue
+        obj = parse_object(args["object"])
+        grants_by_object.setdefault(obj, []).append(
+            (index, txn.root, mode or "W", ts)
+        )
+    for obj, grants in sorted(grants_by_object.items()):
+        for position, (index, root, mode, ts) in enumerate(grants):
+            for _, earlier_root, earlier_mode, _ in grants[:position]:
+                if earlier_root == root:
+                    continue
+                if not modes_conflict(earlier_mode, mode):
+                    continue
+                if commit_pos[earlier_root] > commit_pos[root]:
+                    violations.append(Violation(
+                        "invariant.commit-order", index, ts,
+                        f"O{obj}: family {earlier_root} conflicted before "
+                        f"family {root} but committed after it",
+                    ))
+    return violations
+
+
+def run_invariants(events) -> List[Violation]:
+    """Run every invariant checker; violations in checker order."""
+    events = event_dicts(events)
+    violations: List[Violation] = []
+    violations.extend(check_single_writer(events))
+    violations.extend(check_retained_descendants(events))
+    violations.extend(check_page_version_monotonic(events))
+    violations.extend(check_commit_order(events))
+    return violations

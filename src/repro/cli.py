@@ -24,6 +24,12 @@ Commands:
   timeouts — see :data:`repro.faults.FAULT_PRESETS`), print the fault
   and retry accounting, and gate on the serializability oracle: exit
   nonzero if the faulted run is not equivalent to a serial replay.
+* ``fuzz`` — schedule-exploration fuzzing (:mod:`repro.check`): run N
+  seeds x protocols x fault presets with perturbed same-instant event
+  ordering, judge every run with the serializability oracles, the
+  nested-O2PL reference model, and the trace invariant checkers, and
+  on failure print a minimized one-line repro command (``--out DIR``
+  also dumps the failing trace as JSONL + a text report).
 * ``list`` — show available experiment ids and scenarios.
 * ``version`` (or ``--version``) — print the package version.
 
@@ -48,6 +54,7 @@ from repro.bench import (
     format_bench_summary,
     format_table,
 )
+from repro.check import ALL_PROTOCOLS, DEFAULT_POLICIES, run_campaign
 from repro.faults import FAULT_PRESETS
 from repro.obs import render_summary, write_chrome_trace, write_jsonl
 from repro.runtime.cluster import Cluster
@@ -173,6 +180,50 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", metavar="DIR",
                        help="also write trace artifacts (JSONL + Chrome "
                             "trace) to this directory")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="schedule-exploration fuzzing: seeds x protocols x "
+             "presets, gated on every oracle and checker",
+    )
+    fuzz.add_argument("--seeds", type=int, default=20, metavar="N",
+                      help="workload seeds per combination (default: 20)")
+    fuzz.add_argument("--seed-base", type=int, default=0, metavar="S",
+                      help="first seed (default: 0)")
+    fuzz.add_argument(
+        "--protocols", default="all", metavar="CSV",
+        help="comma-separated protocols, or 'all' "
+             f"(default: {','.join(ALL_PROTOCOLS)})",
+    )
+    fuzz.add_argument(
+        "--presets", default="none", metavar="CSV",
+        help="comma-separated fault presets, 'none' for fault-free, or "
+             "'all' for none plus every preset (default: none)",
+    )
+    fuzz.add_argument(
+        "--policies", default=",".join(DEFAULT_POLICIES), metavar="CSV",
+        help="comma-separated tie-break policies the tasks cycle "
+             f"through (default: {','.join(DEFAULT_POLICIES)})",
+    )
+    fuzz.add_argument("--scenario", choices=sorted(SCENARIOS),
+                      default="medium-high")
+    fuzz.add_argument("--scale", type=float, default=0.25,
+                      help="workload size factor (1.0 = full)")
+    fuzz.add_argument("--nodes", type=int, default=4)
+    fuzz.add_argument("--out", metavar="DIR",
+                      help="write failing-trace artifacts (JSONL + text "
+                           "report) to this directory")
+    fuzz.add_argument("--stop-on-failure", action="store_true",
+                      help="stop the campaign at the first failing task")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="report failing tasks as-is, without shrinking")
+    fuzz.add_argument(
+        "--mutate", default="", metavar="CSV",
+        help="(testing the checkers) comma-separated LockManager "
+             "mutations to inject, e.g. skip-precommit-retention",
+    )
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress the per-task progress lines")
 
     sub.add_parser("list", help="list experiment ids and scenarios")
     sub.add_parser("version", help="print the package version")
@@ -403,6 +454,73 @@ def _cmd_chaos(args) -> int:
     return 1
 
 
+def _split_csv(spec: str) -> list:
+    return [item.strip() for item in spec.split(",") if item.strip()]
+
+
+def _cmd_fuzz(args) -> int:
+    protocols = (list(ALL_PROTOCOLS) if args.protocols == "all"
+                 else _split_csv(args.protocols))
+    for protocol in protocols:
+        if protocol not in ALL_PROTOCOLS:
+            print(f"error: unknown protocol {protocol!r}; known: "
+                  f"{', '.join(ALL_PROTOCOLS)}", file=sys.stderr)
+            return 2
+    if args.presets == "all":
+        presets = [None] + sorted(FAULT_PRESETS)
+    else:
+        presets = [None if name == "none" else name
+                   for name in _split_csv(args.presets)]
+        for preset in presets:
+            if preset is not None and preset not in FAULT_PRESETS:
+                print(f"error: unknown fault preset {preset!r}; known: "
+                      f"{', '.join(sorted(FAULT_PRESETS))}",
+                      file=sys.stderr)
+                return 2
+    policies = _split_csv(args.policies)
+    if not (protocols and presets and policies):
+        print("error: --protocols, --presets, and --policies must each "
+              "name at least one entry", file=sys.stderr)
+        return 2
+
+    def progress(report) -> None:
+        verdict = "ok" if report.ok else "FAIL"
+        print(f"  [{verdict}] {report.task.describe()}: "
+              f"{report.committed} committed, {report.failed} failed")
+
+    total = args.seeds * len(protocols) * len(presets)
+    print(f"fuzz: {args.seeds} seeds x {len(protocols)} protocols x "
+          f"{len(presets)} presets = {total} tasks "
+          f"(scenario {args.scenario}, scale {args.scale}, "
+          f"{args.nodes} nodes)")
+    result = run_campaign(
+        seeds=args.seeds, seed_base=args.seed_base,
+        protocols=protocols, presets=presets, policies=policies,
+        scenario=args.scenario, scale=args.scale, nodes=args.nodes,
+        mutate=tuple(_split_csv(args.mutate)), out_dir=args.out,
+        minimize_failures=not args.no_minimize,
+        stop_on_failure=args.stop_on_failure,
+        progress=None if args.quiet else progress,
+    )
+    print(f"\n{result.tasks_run} tasks, {result.committed} transactions "
+          f"committed, {result.failed_txns} aborted")
+    if result.ok:
+        print("fuzz: all tasks clean (oracles, reference model, "
+              "invariants)")
+        return 0
+    print(f"\nfuzz: {len(result.failures)} failing task(s)",
+          file=sys.stderr)
+    for failure in result.failures:
+        print(f"\n  task: {failure.report.task.describe()}",
+              file=sys.stderr)
+        for line in failure.report.failure_summary():
+            print(f"    {line}", file=sys.stderr)
+        print(f"  repro: {failure.command}", file=sys.stderr)
+        for path in failure.artifacts:
+            print(f"  wrote {path}", file=sys.stderr)
+    return 1
+
+
 def _cmd_version(_args) -> int:
     print(_package_version())
     return 0
@@ -426,6 +544,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "trace": _cmd_trace,
         "chaos": _cmd_chaos,
+        "fuzz": _cmd_fuzz,
         "list": _cmd_list,
         "version": _cmd_version,
     }

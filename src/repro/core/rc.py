@@ -80,7 +80,8 @@ class ReleaseConsistency(ConsistencyProtocol):
                 1 if self.network.config.multicast else len(replicas)
             )
             self.tracer.update_push(
-                node, object_id, sorted(pages), pushed_bytes, replicas
+                node, object_id, sorted(pages), pushed_bytes, replicas,
+                versions={copy.page: copy.version for copy in copies},
             )
             for target in replicas:
                 self.stores[target].install_pages(object_id, copies)

@@ -218,15 +218,19 @@ def gather_many(env, network: Network, sizes: SizeModel, stores,
 
     yield env.all_of(deliveries)
 
+    installed_versions: Dict[ObjectId, Dict[int, int]] = defaultdict(dict)
     for owner, entries in sorted(owner_lists.items()):
         for meta, pages in entries:
             copies = stores[owner].extract_pages(meta.object_id, pages)
             stores[node].install_pages(meta.object_id, copies)
+            for copy in copies:
+                installed_versions[meta.object_id][copy.page] = copy.version
     for object_id in requested:
         tracer.transfer_install(
             node, object_id, sorted(shipped[object_id]), cause,
             sorted(response.deliver_time
                    for response in responses_by_object[object_id]),
+            versions=installed_versions[object_id],
         )
         tracer.transfer_end(tokens[object_id], cause, shipped[object_id],
                             data_bytes[object_id])
@@ -269,6 +273,7 @@ def demand_fetch(network: Network, sizes: SizeModel, stores,
     delay = 0.0
     shipped: List[int] = []
     data_bytes = 0
+    versions: Dict[int, int] = {}
     for owner, owner_pages in sorted(by_owner.items()):
         request = Message(
             src=node, dst=owner,
@@ -287,10 +292,12 @@ def demand_fetch(network: Network, sizes: SizeModel, stores,
         data_bytes += response.size_bytes
         copies = stores[owner].extract_pages(meta.object_id, owner_pages)
         stores[node].install_pages(meta.object_id, copies)
+        for copy in copies:
+            versions[copy.page] = copy.version
         shipped.extend(owner_pages)
     if shipped:
         network.tracer.demand_fetch(
             node, meta.object_id, sorted(set(pages)), shipped, data_bytes,
-            is_write, delay,
+            is_write, delay, versions=versions,
         )
     return delay, shipped

@@ -115,6 +115,12 @@ class Network:
         the paper's local/global split of lock processing (§4.1).
         """
         done = self.env.event(name=f"deliver:{message.category.value}")
+        # Scheduling hints for same-instant tie-break policies
+        # (repro.sim.tiebreak): destination node and message category.
+        done.hints = {
+            "kind": "deliver", "category": message.category.value,
+            "node": message.dst.value, "src": message.src.value,
+        }
         message.send_time = self.env.now
         if message.is_local:
             message.deliver_time = self.env.now

@@ -133,7 +133,7 @@ class NullTracer:
     def lock_released(self, node, root_serial, object_ids, cause):
         pass
 
-    def lock_prefetch(self, txn, object_id, granted):
+    def lock_prefetch(self, txn, object_id, granted, mode=None):
         pass
 
     def deadlock(self, victim_root, cycle):
@@ -151,7 +151,8 @@ class NullTracer:
     def transfer_end(self, token, cause, shipped, data_bytes):
         pass
 
-    def transfer_install(self, node, object_id, pages, cause, delivered_at):
+    def transfer_install(self, node, object_id, pages, cause, delivered_at,
+                         versions=None):
         pass
 
     def transfer_batch(self, node, owner, object_ids, request_bytes,
@@ -159,13 +160,14 @@ class NullTracer:
         pass
 
     def demand_fetch(self, node, object_id, pages, shipped, data_bytes,
-                     is_write, delay):
+                     is_write, delay, versions=None):
         pass
 
     def prediction(self, node, object_id, predicted, wanted, shipped):
         pass
 
-    def update_push(self, node, object_id, pages, data_bytes, replicas):
+    def update_push(self, node, object_id, pages, data_bytes, replicas,
+                    versions=None):
         pass
 
     def message(self, message, transfer_time):
@@ -206,6 +208,17 @@ class NullTracer:
 
 def _noop(*_args, **_kwargs):
     return None
+
+
+def _lineage(txn):
+    """Ancestor serials of a transaction, parent first, root last.
+
+    Recorded on lock and transaction events so offline consumers (the
+    ``repro.check`` reference model) can evaluate Moss's
+    retainer-must-be-ancestor rule from the trace alone —
+    :class:`~repro.util.ids.TxnId` itself carries only serial and root.
+    """
+    return [ancestor.id.serial for ancestor in txn.ancestors()]
 
 
 #: Shared disabled tracer — the default everywhere a tracer is optional.
@@ -264,6 +277,7 @@ class Tracer(NullTracer):
         return self.begin(
             f"txn:{txn.label or txn.id!r}", CAT_TXN, node=txn.node,
             track=f"family T{txn.id.root}",
+            lineage=_lineage(txn),
             **txn.trace_info(),
         )
 
@@ -289,6 +303,7 @@ class Tracer(NullTracer):
             f"lock.grant {object_id!r}", CAT_LOCK, node=txn.node,
             track=f"family T{txn.id.root}",
             txn=txn.id, object=object_id, mode=mode, scope=scope,
+            lineage=_lineage(txn),
             **(info or {}),
         )
 
@@ -298,6 +313,7 @@ class Tracer(NullTracer):
             f"lock.wait {object_id!r}", CAT_LOCK, node=txn.node,
             track=f"family T{txn.id.root}",
             txn=txn.id, object=object_id, mode=mode, scope=scope,
+            lineage=_lineage(txn),
         )
 
     def lock_wait_end(self, token, ok=True):
@@ -314,6 +330,7 @@ class Tracer(NullTracer):
             "lock.inherit", CAT_LOCK, node=txn.node,
             track=f"family T{txn.id.root}",
             txn=txn.id, parent=parent.id, objects=object_ids,
+            lineage=_lineage(txn),
         )
 
     def lock_released(self, node, root_serial, object_ids, cause):
@@ -324,13 +341,14 @@ class Tracer(NullTracer):
             root=root_serial, objects=object_ids, cause=cause,
         )
 
-    def lock_prefetch(self, txn, object_id, granted):
+    def lock_prefetch(self, txn, object_id, granted, mode=None):
         outcome = "granted" if granted else "denied"
         self.metrics.counter("lock.prefetch", outcome=outcome).inc()
         self.instant(
             f"lock.prefetch {object_id!r}", CAT_LOCK, node=txn.node,
             track=f"family T{txn.id.root}",
-            txn=txn.id, object=object_id, outcome=outcome,
+            txn=txn.id, object=object_id, outcome=outcome, mode=mode,
+            lineage=_lineage(txn),
         )
 
     def deadlock(self, victim_root, cycle):
@@ -370,16 +388,19 @@ class Tracer(NullTracer):
         self.metrics.counter("transfer.pages", cause=cause).inc(len(shipped))
         self.end(token, shipped=shipped, data_bytes=data_bytes)
 
-    def transfer_install(self, node, object_id, pages, cause, delivered_at):
+    def transfer_install(self, node, object_id, pages, cause, delivered_at,
+                         versions=None):
         """Pages entered the acquiring store — strictly after the last
         ``PAGE_DATA`` delivery event of the gather that carried them;
-        ``delivered_at`` records those responses' delivery instants."""
+        ``delivered_at`` records those responses' delivery instants and
+        ``versions`` the installed per-page versions (the stale-install
+        invariant checker's input)."""
         self.metrics.counter("transfer.installs", cause=cause).inc()
         self.instant(
             f"transfer.install {object_id!r}", CAT_TRANSFER, node=node,
             track=f"gather {object_id!r}",
             object=object_id, pages=pages, cause=cause,
-            delivered_at=delivered_at,
+            delivered_at=delivered_at, versions=versions,
         )
 
     def transfer_batch(self, node, owner, object_ids, request_bytes,
@@ -398,7 +419,7 @@ class Tracer(NullTracer):
         )
 
     def demand_fetch(self, node, object_id, pages, shipped, data_bytes,
-                     is_write, delay):
+                     is_write, delay, versions=None):
         self.metrics.counter("transfer.bytes", cause="demand").inc(data_bytes)
         self.metrics.counter("transfer.pages", cause="demand").inc(len(shipped))
         self.metrics.counter("predict.demand_pages").inc(len(shipped))
@@ -407,6 +428,7 @@ class Tracer(NullTracer):
             track=f"gather {object_id!r}",
             object=object_id, pages=pages, shipped=shipped,
             data_bytes=data_bytes, write=is_write, deferred_delay=delay,
+            versions=versions,
         )
 
     def prediction(self, node, object_id, predicted, wanted, shipped):
@@ -419,14 +441,15 @@ class Tracer(NullTracer):
             shipped=shipped,
         )
 
-    def update_push(self, node, object_id, pages, data_bytes, replicas):
+    def update_push(self, node, object_id, pages, data_bytes, replicas,
+                    versions=None):
         self.metrics.counter("transfer.bytes", cause="push").inc(data_bytes)
         self.metrics.counter("transfer.pages", cause="push").inc(len(pages))
         self.instant(
             f"transfer.push {object_id!r}", CAT_TRANSFER, node=node,
             track=f"gather {object_id!r}",
             object=object_id, pages=pages, data_bytes=data_bytes,
-            replicas=replicas,
+            replicas=replicas, versions=versions,
         )
 
     # -- network -----------------------------------------------------------

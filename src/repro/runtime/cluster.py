@@ -19,6 +19,7 @@ from repro.runtime.config import ClusterConfig
 from repro.runtime.executor import Executor
 from repro.runtime.scheduler import Scheduler
 from repro.sim import Environment, Process
+from repro.sim.tiebreak import make_tiebreak
 from repro.txn.locks import LockManager
 from repro.util.errors import ConfigurationError, ProtocolError
 from repro.util.ids import IdAllocator, NodeId, ObjectId
@@ -79,7 +80,10 @@ class Cluster:
                 "pass either a ClusterConfig or keyword overrides, not both"
             )
         self.config = config
-        self.env = Environment()
+        self.env = Environment(
+            tiebreak=make_tiebreak(config.tiebreak, config.seed,
+                                   config.num_nodes)
+        )
         self.tracer = (
             Tracer(clock=lambda: self.env.now) if config.trace else NULL_TRACER
         )

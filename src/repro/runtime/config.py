@@ -10,6 +10,7 @@ from repro.faults.plan import FaultPlan
 from repro.net.network import NetworkConfig
 from repro.net.presets import FAST_ETHERNET_100M
 from repro.net.sizes import SizeModel
+from repro.sim.tiebreak import validate_tiebreak
 from repro.util.errors import ConfigurationError
 
 _SCHEDULERS = ("round_robin", "random", "least_loaded")
@@ -66,6 +67,13 @@ class ClusterConfig:
             network events) with the :mod:`repro.obs` tracer; off by
             default — the disabled path is a no-op
             :class:`~repro.obs.tracer.NullTracer`.
+        tiebreak: same-instant event-ordering policy of the simulation
+            engine (see :mod:`repro.sim.tiebreak`).  The default
+            ``"fifo"`` keeps runs byte-identical to the historic strict
+            schedule order; the other policies (``"random"``,
+            ``"lifo"``, ``"writer-first"``, ``"reader-first"``,
+            ``"starve-node[:index]"``) deterministically perturb
+            tie-breaks for schedule exploration (``repro fuzz``).
         faults: optional :class:`~repro.faults.plan.FaultPlan` enabling
             deterministic fault injection (message loss/dup/jitter,
             node crash windows, lock-wait timeouts).  ``None`` — the
@@ -92,6 +100,7 @@ class ClusterConfig:
     prefetch: str = "off"
     batch_transfers: bool = True
     trace: bool = False
+    tiebreak: str = "fifo"
     faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
@@ -129,6 +138,7 @@ class ClusterConfig:
                     "class_protocols must be a tuple of "
                     "(class name, protocol name) string pairs"
                 )
+        validate_tiebreak(self.tiebreak)
         if self.faults is not None:
             if not isinstance(self.faults, FaultPlan):
                 raise ConfigurationError(

@@ -46,10 +46,11 @@ def replay_serially(cluster: Cluster,
         # faults=None: the serial oracle must replay the *committed*
         # history on a clean cluster — re-injecting the fault plan
         # would perturb (or, with crash events, outright reject) the
-        # single-node replay.
+        # single-node replay.  tiebreak="fifo" likewise: the replay is
+        # the reference, so it must not inherit a perturbed schedule.
         config = replace(
             cluster.config, num_nodes=1, scheduler="round_robin",
-            audit_accesses=False, faults=None,
+            audit_accesses=False, faults=None, tiebreak="fifo",
         )
     serial = Cluster(config)
     for record in cluster.creation_log:

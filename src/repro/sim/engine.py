@@ -19,17 +19,27 @@ class Environment:
     order (FIFO), which makes runs fully deterministic — essential for
     reproducible experiments and for the seeded workload generator.
 
+    ``tiebreak`` optionally installs a
+    :class:`~repro.sim.tiebreak.TieBreakPolicy` that re-ranks events
+    *within* one instant (heap order becomes ``(time, rank, seq)``);
+    time order — causality — is never perturbed, and with the default
+    ``None`` every event ranks 0, reproducing plain FIFO exactly.
+    Each policy is deterministic, so a (seed, policy) pair names one
+    reproducible interleaving — the schedule-exploration surface of
+    :mod:`repro.check`.
+
     ``tracer`` (settable after construction, since the tracer's clock
     is this environment) receives one ``sim.run`` span per :meth:`run`
     call; the default :data:`~repro.obs.tracer.NULL_TRACER` is a no-op.
     """
 
-    def __init__(self, initial_time: float = 0.0, tracer=None):
+    def __init__(self, initial_time: float = 0.0, tracer=None, tiebreak=None):
         self._now = float(initial_time)
         self._queue: list = []
         self._sequence = itertools.count()
         self._events_processed = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tiebreak = tiebreak
 
     @property
     def now(self) -> float:
@@ -61,7 +71,12 @@ class Environment:
     # -- scheduling ------------------------------------------------------
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+        policy = self.tiebreak
+        rank = 0 if policy is None else policy.rank(event)
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, rank, next(self._sequence), event),
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
@@ -69,7 +84,7 @@ class Environment:
 
     def step(self) -> None:
         """Process the single next event, advancing the clock to it."""
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _rank, _seq, event = heapq.heappop(self._queue)
         self._now = when
         self._events_processed += 1
         event._process()

@@ -23,6 +23,13 @@ _PENDING = object()
 class Event:
     """A one-shot occurrence that simulation processes can wait on."""
 
+    #: Scheduling metadata for tie-break policies
+    #: (:mod:`repro.sim.tiebreak`).  Class-level empty default: call
+    #: sites that matter (lock-wait wakes, network deliveries) assign a
+    #: per-instance dict; everything else shares this one frozen-ish
+    #: mapping and pays nothing.
+    hints: dict = {}
+
     def __init__(self, env, name: str = ""):
         self.env = env
         self.name = name

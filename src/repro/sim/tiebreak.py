@@ -1,0 +1,172 @@
+"""Injectable same-instant tie-break policies for the event heap.
+
+The engine orders its pending-event heap by ``(time, rank, sequence)``.
+With no policy installed the rank is always 0, so same-instant events
+run in strict schedule order (FIFO) — byte-identical to the historic
+behaviour.  A :class:`TieBreakPolicy` perturbs only the *rank* of
+events that share an instant; causality (time order) is untouched, so
+every perturbed schedule is still a legal execution of the simulated
+system.  This is the schedule-exploration knob ``repro.check`` drives:
+one seed, one reproducible interleaving.
+
+Policies read :attr:`~repro.sim.events.Event.hints`, a small metadata
+dict call sites attach to scheduling-relevant events (lock-wait wakes
+carry the waiter's mode and node; network deliveries carry the
+destination node and message category).  Events without hints rank 0
+under every deterministic policy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import derive_seed
+
+
+class TieBreakPolicy:
+    """Base policy: rank every event 0 (explicit FIFO)."""
+
+    name = "fifo"
+
+    def rank(self, event) -> int:
+        """Heap rank among events scheduled for the same instant.
+
+        Lower ranks run first; ties fall back to schedule order.
+        Called once per scheduling, so stateful policies see events in
+        schedule order.
+        """
+        return 0
+
+
+class LifoTieBreak(TieBreakPolicy):
+    """Last scheduled runs first among same-instant events."""
+
+    name = "lifo"
+
+    def __init__(self):
+        self._counter = 0
+
+    def rank(self, event) -> int:
+        self._counter -= 1
+        return self._counter
+
+
+class RandomWalkTieBreak(TieBreakPolicy):
+    """Seeded random rank: every seed is a distinct reproducible walk
+    through the space of same-instant orderings."""
+
+    name = "random"
+
+    def __init__(self, seed: int):
+        self._rng = random.Random(seed)
+
+    def rank(self, event) -> int:
+        return self._rng.randrange(1 << 30)
+
+
+class WriterFirstTieBreak(TieBreakPolicy):
+    """Adversarial: wake write-lock waiters before read-lock waiters.
+
+    Stresses the reader-preference paths of Algorithm 4.4 — a writer
+    admitted at the same instant readers were queued is exactly the
+    interleaving FIFO rarely produces."""
+
+    name = "writer-first"
+
+    def rank(self, event) -> int:
+        mode = event.hints.get("mode")
+        if mode == "W":
+            return -1
+        if mode == "R":
+            return 1
+        return 0
+
+
+class ReaderFirstTieBreak(TieBreakPolicy):
+    """Adversarial mirror of :class:`WriterFirstTieBreak`."""
+
+    name = "reader-first"
+
+    def rank(self, event) -> int:
+        mode = event.hints.get("mode")
+        if mode == "R":
+            return -1
+        if mode == "W":
+            return 1
+        return 0
+
+
+class StarveNodeTieBreak(TieBreakPolicy):
+    """Adversarial: one node's wakes and deliveries always lose ties.
+
+    Maximizes the window in which the starved node's transactions sit
+    behind everyone else — the classic recipe for exposing fairness and
+    retained-lock bugs."""
+
+    name = "starve-node"
+
+    def __init__(self, node_index: int):
+        self.node_index = node_index
+
+    def rank(self, event) -> int:
+        if event.hints.get("node") == self.node_index:
+            return 1
+        return 0
+
+
+#: Recognised policy specs (``starve-node`` also accepts an explicit
+#: ``starve-node:<index>`` form).
+TIEBREAK_POLICIES = (
+    "fifo", "lifo", "random", "writer-first", "reader-first", "starve-node",
+)
+
+
+def validate_tiebreak(spec: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``spec`` names a policy."""
+    base, _, index = spec.partition(":")
+    if base not in TIEBREAK_POLICIES:
+        raise ConfigurationError(
+            f"tiebreak must be one of {TIEBREAK_POLICIES}, got {spec!r}"
+        )
+    if index:
+        if base != "starve-node":
+            raise ConfigurationError(
+                f"only starve-node takes an index, got {spec!r}"
+            )
+        if not index.isdigit():
+            raise ConfigurationError(
+                f"starve-node index must be an integer, got {spec!r}"
+            )
+
+
+def make_tiebreak(spec: str, seed: int,
+                  num_nodes: int) -> Optional[TieBreakPolicy]:
+    """Build the policy named by ``spec``; ``"fifo"`` returns ``None``
+    (the engine's zero-overhead default path).
+
+    ``seed`` feeds the random walk (derived, so it never collides with
+    other consumers of the master seed); ``starve-node`` without an
+    explicit index picks ``seed % num_nodes`` so a seed sweep starves
+    every node in turn.
+    """
+    validate_tiebreak(spec)
+    base, _, index = spec.partition(":")
+    if base == "fifo":
+        return None
+    if base == "lifo":
+        return LifoTieBreak()
+    if base == "random":
+        return RandomWalkTieBreak(derive_seed(seed, "tiebreak"))
+    if base == "writer-first":
+        return WriterFirstTieBreak()
+    if base == "reader-first":
+        return ReaderFirstTieBreak()
+    node_index = int(index) if index else seed % num_nodes
+    if node_index >= num_nodes:
+        raise ConfigurationError(
+            f"starve-node index {node_index} out of range for "
+            f"{num_nodes} node(s)"
+        )
+    return StarveNodeTieBreak(node_index)

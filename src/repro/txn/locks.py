@@ -101,6 +101,10 @@ class LockManager:
         # in grant order.  Feeds the precedence-graph oracle
         # (repro.runtime.verify.check_conflict_serializability).
         self.grant_history: Dict[ObjectId, List[Tuple[int, LockMode, float]]] = {}
+        # Test-only deliberate protocol breakages, by name (the
+        # repro.check mutation smoke tests prove the fuzzer's checkers
+        # catch them).  Always empty in production paths.
+        self.test_mutations: frozenset = frozenset()
 
     def _record_grant(self, object_id: ObjectId, txn, mode: LockMode) -> None:
         self.grant_history.setdefault(object_id, []).append(
@@ -233,7 +237,8 @@ class LockManager:
             txn.id.root
         ):
             self.stats.prefetch_denied += 1
-            self.tracer.lock_prefetch(txn, object_id, granted=False)
+            self.tracer.lock_prefetch(txn, object_id, granted=False,
+                                      mode=mode)
             nack = Message(
                 src=entry.home_node, dst=node,
                 category=MessageCategory.CONTROL,
@@ -246,7 +251,7 @@ class LockManager:
         entry.demote_to_retained(txn)
         self.cache.on_granted(object_id, node)
         self.stats.prefetch_granted += 1
-        self.tracer.lock_prefetch(txn, object_id, granted=True)
+        self.tracer.lock_prefetch(txn, object_id, granted=True, mode=mode)
         snapshot = entry.page_map_snapshot()
         grant = Message(
             src=entry.home_node, dst=node,
@@ -271,8 +276,15 @@ class LockManager:
               local: bool):
         """Block until granted; raises DeadlockError if chosen as victim."""
         self.stats.waits += 1
-        waiter = Waiter(txn=txn, mode=mode,
-                        wake=self.env.event(name=f"lockwait:{entry.object_id!r}"))
+        wake = self.env.event(name=f"lockwait:{entry.object_id!r}")
+        # Scheduling hints for same-instant tie-break policies
+        # (repro.sim.tiebreak): which family/node/mode this wake admits.
+        wake.hints = {
+            "kind": "lockwait", "mode": mode.value,
+            "node": txn.node.value, "root": txn.id.root,
+            "object": entry.object_id.value,
+        }
+        waiter = Waiter(txn=txn, mode=mode, wake=wake)
         if local:
             entry.enqueue_local(waiter)
         else:
@@ -394,6 +406,9 @@ class LockManager:
         parent = txn.parent
         if parent is None:
             raise ProtocolError("precommit_release on a root transaction")
+        if "skip-precommit-retention" in self.test_mutations:
+            self._mutated_precommit_drop(txn)
+            return
         if txn.lock_objects:
             self.tracer.lock_inherited(txn, parent, sorted(txn.lock_objects))
         for object_id in sorted(txn.lock_objects):
@@ -401,6 +416,24 @@ class LockManager:
             entry.release_to_parent(txn, parent)
             for waiter in entry.pump(self.allow_recursive_reads):
                 waiter.wake.succeed(None)
+
+    def _mutated_precommit_drop(self, txn: Transaction) -> None:
+        """TEST-ONLY breakage (``skip-precommit-retention``): instead
+        of the parent inheriting and retaining the pre-committing
+        child's locks (Algorithm 4.3), drop whatever the family no
+        longer strictly holds and wake anyone queued — other families
+        can then touch the objects while this family's root is still
+        running.  The reference model and the serializability oracles
+        must both catch the fallout; nothing is traced here precisely
+        because a real bug would not announce itself.
+        """
+        for object_id in sorted(txn.lock_objects):
+            entry = self.directory.entry(object_id)
+            entry.release_on_abort(txn)
+            for waiter in entry.pump(self.allow_recursive_reads):
+                waiter.wake.succeed(entry.page_map_snapshot())
+            self.directory.refresh_deadlock_edges(object_id)
+        self._detect_deadlocks()
 
     def sub_abort_release(self, txn: Transaction):
         """Sub-transaction abort (Algorithm 4.3, last case) — process.

@@ -180,3 +180,145 @@ class TestAlgorithm45TransferOfUpdatedPages:
         counts = category_counts(cluster)
         assert MC.PAGE_REQUEST not in counts
         assert MC.PAGE_DATA not in counts
+
+
+class TestRetentionChoreography:
+    """Trace-level conformance for rule 1a and Algorithm 4.3: who may
+    enter under a retained lock, and where a sub-transaction's locks go
+    on pre-commit vs abort.  Asserted against the sanitized trace
+    stream (:mod:`repro.obs`) rather than message counts, so the tests
+    pin the *order* of retention events, not just their totals."""
+
+    @staticmethod
+    def _events(cluster):
+        from repro.check.events import event_dicts
+
+        return event_dicts(cluster.trace_events)
+
+    @staticmethod
+    def _grants_on(events, oname):
+        """(index, family-root) of every admission to ``oname``."""
+        out = []
+        for index, event in enumerate(events):
+            if event.get("category") != "lock":
+                continue
+            args = event.get("args", {})
+            if args.get("object") != oname:
+                continue
+            name = event.get("name", "")
+            granted = (
+                name.startswith("lock.grant ")
+                or (name.startswith("lock.wait ") and args.get("granted"))
+                or (name.startswith("lock.prefetch ")
+                    and args.get("outcome") == "granted")
+            )
+            if granted:
+                serial, _, root = args["txn"][1:].partition("/r")
+                out.append((index, int(root or serial)))
+        return out
+
+    def test_retained_lock_admits_other_family_only_after_release(self):
+        """Rule 1a: with the boss's family retaining the counter lock
+        between its two sub-invocations, a concurrent family's write
+        must not be admitted until the retainer's root releases."""
+        cluster = make_cluster(protocol="lotec", seed=1, trace=True)
+        counter = cluster.create(Counter, node=cluster.nodes[0])
+        boss = cluster.create(Orchestrator, node=cluster.nodes[0])
+        a = cluster.submit(boss, "fanout", [counter], 1,
+                           node=cluster.nodes[1])
+        b = cluster.submit(counter, "add", 10, node=cluster.nodes[2])
+        cluster.run()
+        a.result(), b.result()
+        assert cluster.read_attr(counter, "value") == 11
+        assert cluster.lock_stats.waits >= 1
+        events = self._events(cluster)
+        grants = self._grants_on(events, "O0")
+        roots = {root for _, root in grants}
+        assert len(roots) == 2  # both families reached the counter
+        winner = grants[0][1]
+        release_index = next(
+            index for index, event in enumerate(events)
+            if event.get("name") == "lock.release"
+            and event["args"].get("root") == winner
+            and "O0" in event["args"].get("objects", ())
+        )
+        # Every admission of the losing family sits after the winning
+        # family's global release — no interleaving under retention.
+        for index, root in grants:
+            if root != winner:
+                assert index > release_index
+
+    def test_precommit_moves_locks_to_parent_before_any_release(self):
+        """Algorithm 4.3: 'Release lock to parent transaction for
+        retaining' — the sub's pre-commit shows up as lock.inherit to
+        the root, and the only global release of the counter is the
+        root's own commit release, after the inherit."""
+        cluster = make_cluster(protocol="lotec", seed=1, trace=True)
+        counter = cluster.create(Counter, node=cluster.nodes[0])
+        boss = cluster.create(Orchestrator, node=cluster.nodes[0])
+        cluster.call(boss, "fanout", [counter], 1, node=cluster.nodes[1])
+        events = self._events(cluster)
+        inherits = [
+            (index, event["args"]) for index, event in enumerate(events)
+            if event.get("name") == "lock.inherit"
+            and "O0" in event["args"].get("objects", ())
+        ]
+        assert inherits, "sub pre-commit traced no inheritance"
+        assert all("/r" in args["txn"] and "/r" not in args["parent"]
+                   for _, args in inherits)
+        releases = [
+            (index, event["args"]) for index, event in enumerate(events)
+            if event.get("name") == "lock.release"
+            and "O0" in event["args"].get("objects", ())
+        ]
+        assert len(releases) == 1
+        assert releases[0][1]["cause"] == "commit"
+        assert all(index < releases[0][0] for index, _ in inherits)
+
+    def test_sub_abort_reverts_to_retainer_without_release(self):
+        """Algorithm 4.3, last case: an aborting sub whose lock an
+        ancestor retains hands nothing to its parent (no inherit) and
+        releases nothing — the retention silently survives until the
+        root's single commit release."""
+        from repro import Attr, TransactionAborted, method, shared_class
+
+        @shared_class
+        class Retry:
+            n = Attr(size=8, default=0)
+
+            @method
+            def run(self, ctx, target):
+                yield ctx.invoke(target, "add", 1)  # boss retains after
+                try:
+                    yield ctx.invoke(target, "fail_after_write", 9)
+                except TransactionAborted:
+                    pass
+                self.n += 1
+
+        cluster = make_cluster(protocol="lotec", seed=1, trace=True)
+        counter = cluster.create(Counter, node=cluster.nodes[0])
+        boss = cluster.create(Retry, node=cluster.nodes[0])
+        cluster.call(boss, "run", counter, node=cluster.nodes[2])
+        assert cluster.read_attr(counter, "value") == 1  # abort undone
+        events = self._events(cluster)
+        aborted = [
+            event["args"]["txn"] for event in events
+            if event.get("category") == "txn"
+            and event.get("phase") == "X"
+            and event["args"].get("outcome") == "abort"
+        ]
+        assert len(aborted) == 1 and "/r" in aborted[0]
+        # The aborting sub inherits nothing to its parent ...
+        assert not any(
+            event.get("name") == "lock.inherit"
+            and event["args"]["txn"] == aborted[0]
+            for event in events
+        )
+        # ... and the counter sees exactly one global release: the
+        # root's commit (no sub-abort release while retained).
+        causes = [
+            event["args"]["cause"] for event in events
+            if event.get("name") == "lock.release"
+            and "O0" in event["args"].get("objects", ())
+        ]
+        assert causes == ["commit"]

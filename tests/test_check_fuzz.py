@@ -1,0 +1,166 @@
+"""The schedule-exploration fuzzer end to end.
+
+Covers the explorer (one task = one reproducible run), failure
+minimization, the campaign driver with its artifacts, the ``repro
+fuzz`` CLI, and the mutation smoke test: an injected protocol bug
+(skipping lock retention at pre-commit) must be caught by the checkers
+within a small seed budget — evidence the fuzzer can actually detect
+the class of bug it exists for.
+"""
+
+import json
+
+import pytest
+
+from repro.check import (
+    ALL_PROTOCOLS,
+    FuzzTask,
+    minimize,
+    repro_command,
+    run_campaign,
+    run_task,
+    trace_to_jsonl,
+)
+from repro.cli import main
+
+QUICK = dict(scenario="medium-high", scale=0.125, nodes=4)
+MUTATION = "skip-precommit-retention"
+
+
+class TestRunTask:
+    def test_clean_run_reports_ok(self):
+        report = run_task(FuzzTask(seed=1, policy="random", **QUICK))
+        assert report.ok
+        assert report.committed > 0
+        assert report.serializable and report.conflict_serializable
+        assert report.violations == [] and report.error is None
+
+    def test_identical_tasks_trace_byte_identically(self):
+        task = FuzzTask(seed=2, policy="random", **QUICK)
+        first = run_task(task, keep_trace=True)
+        second = run_task(task, keep_trace=True)
+        assert trace_to_jsonl(first.trace) == trace_to_jsonl(second.trace)
+
+    def test_policy_changes_the_schedule(self):
+        fifo = run_task(FuzzTask(seed=2, policy="fifo", **QUICK),
+                        keep_trace=True)
+        random_walk = run_task(FuzzTask(seed=2, policy="random", **QUICK),
+                               keep_trace=True)
+        assert trace_to_jsonl(fifo.trace) != trace_to_jsonl(
+            random_walk.trace
+        )
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_every_protocol_survives_one_adversarial_seed(self, protocol):
+        report = run_task(FuzzTask(seed=0, protocol=protocol,
+                                   policy="writer-first", **QUICK))
+        assert report.ok, report.failure_summary()
+
+
+class TestMutationSmoke:
+    """The checkers must catch a deliberately broken protocol."""
+
+    def test_skipped_retention_is_caught_within_budget(self):
+        # Satellite acceptance: a handful of seeds suffices — the bug
+        # is not a needle in a haystack for these checkers.
+        for seed in range(5):
+            report = run_task(FuzzTask(seed=seed, policy="random",
+                                       mutate=(MUTATION,), **QUICK))
+            if not report.ok:
+                break
+        else:
+            pytest.fail("mutation escaped 5 fuzz seeds")
+        tags = {violation.checker.split(".")[0]
+                for violation in report.violations}
+        # Both independent checker families see it, not just one.
+        assert "reference" in tags
+        assert "invariant" in tags
+
+    def test_failure_summary_names_the_evidence(self):
+        report = run_task(FuzzTask(seed=0, policy="random",
+                                   mutate=(MUTATION,), **QUICK))
+        assert not report.ok
+        summary = "\n".join(report.failure_summary())
+        assert "retention skipped" in summary
+        # The failing trace is attached for artifact dumps.
+        assert report.trace
+
+
+class TestMinimizeAndRepro:
+    def test_minimize_keeps_a_failing_task(self):
+        task = FuzzTask(seed=0, policy="random", preset="lossy-net",
+                        mutate=(MUTATION,), **QUICK)
+        smaller = minimize(task)
+        assert not run_task(smaller).ok
+        assert smaller.scale <= task.scale
+        # The injected bug fails without faults, so the preset and the
+        # perturbed schedule both shrink away.
+        assert smaller.preset is None
+        assert smaller.policy == "fifo"
+
+    def test_repro_command_round_trips_the_task(self):
+        task = FuzzTask(seed=7, protocol="otec", preset="dup-delay",
+                        policy="lifo", scenario="medium-moderate",
+                        scale=0.5, nodes=3, mutate=(MUTATION,))
+        command = repro_command(task)
+        assert command.startswith("repro fuzz --seeds 1 ")
+        for fragment in ("--seed-base 7", "--protocols otec",
+                         "--presets dup-delay", "--policies lifo",
+                         "--scenario medium-moderate", "--scale 0.5",
+                         "--nodes 3", f"--mutate {MUTATION}"):
+            assert fragment in command
+
+
+class TestCampaign:
+    def test_clean_campaign(self):
+        result = run_campaign(seeds=2, protocols=("lotec",),
+                              policies=("random",), **QUICK)
+        assert result.ok
+        assert result.tasks_run == 2
+        assert result.committed > 0
+
+    def test_failing_campaign_writes_artifacts(self, tmp_path):
+        result = run_campaign(
+            seeds=1, protocols=("lotec",), policies=("random",),
+            mutate=(MUTATION,), out_dir=str(tmp_path),
+            minimize_failures=False, stop_on_failure=True, **QUICK,
+        )
+        assert not result.ok
+        failure = result.failures[0]
+        assert failure.command.startswith("repro fuzz --seeds 1")
+        trace_path, report_path = failure.artifacts
+        lines = (tmp_path / trace_path).read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+        report_text = (tmp_path / report_path).read_text()
+        assert "repro fuzz" in report_text
+
+    def test_progress_callback_sees_every_task(self):
+        seen = []
+        run_campaign(seeds=1, protocols=("lotec", "cotec"),
+                     policies=("writer-first",),
+                     progress=seen.append, **QUICK)
+        assert [r.task.protocol for r in seen] == ["lotec", "cotec"]
+
+
+class TestFuzzCli:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["fuzz", "--seeds", "1", "--protocols", "lotec",
+                     "--policies", "random", "--scale", "0.125"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all tasks clean" in out
+
+    def test_mutated_run_exits_one_with_repro_line(self, capsys,
+                                                   tmp_path):
+        code = main(["fuzz", "--seeds", "1", "--protocols", "lotec",
+                     "--policies", "random", "--scale", "0.125",
+                     "--mutate", MUTATION, "--no-minimize", "--quiet",
+                     "--out", str(tmp_path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "repro: repro fuzz --seeds 1" in err
+        assert list(tmp_path.glob("*.trace.jsonl"))
+
+    def test_unknown_protocol_exits_two(self, capsys):
+        assert main(["fuzz", "--protocols", "bogus"]) == 2
+        assert "unknown protocol" in capsys.readouterr().err

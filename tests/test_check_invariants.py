@@ -1,0 +1,191 @@
+"""Trace invariant checkers on hand-built and real traces."""
+
+from repro.check import (
+    check_commit_order,
+    check_page_version_monotonic,
+    check_retained_descendants,
+    check_single_writer,
+    run_invariants,
+)
+
+from conftest import Counter, make_cluster
+
+from test_check_reference import (
+    grant,
+    inherit,
+    prefetch,
+    release,
+    txn_end,
+    wait_grant,
+)
+
+
+def install(obj, versions, ts=0.0):
+    return {
+        "name": f"transfer.install O{obj}", "category": "transfer",
+        "phase": "i", "ts": ts,
+        "args": {"object": f"O{obj}", "versions": versions},
+    }
+
+
+def checkers(violations):
+    return [violation.checker for violation in violations]
+
+
+class TestSingleWriter:
+    def test_two_families_writing_one_object(self):
+        trace = [grant("T0", 1, "W"), wait_grant("T5", 1, "W")]
+        assert checkers(check_single_writer(trace)) == [
+            "invariant.single-writer"
+        ]
+
+    def test_reader_present_while_writer_granted(self):
+        trace = [grant("T0", 1, "R"), grant("T5", 1, "W")]
+        assert len(check_single_writer(trace)) == 1
+
+    def test_concurrent_readers_allowed(self):
+        trace = [grant("T0", 1, "R"), grant("T5", 1, "R"),
+                 grant("T9", 1, "R")]
+        assert check_single_writer(trace) == []
+
+    def test_release_clears_presence(self):
+        trace = [grant("T0", 1, "W"), release(0, [1]),
+                 grant("T5", 1, "W")]
+        assert check_single_writer(trace) == []
+
+    def test_same_family_is_never_a_conflict(self):
+        trace = [grant("T0", 1, "W"),
+                 grant("T1/r0", 1, "W", lineage=[0])]
+        assert check_single_writer(trace) == []
+
+    def test_crash_abort_clears_presence(self):
+        trace = [
+            grant("T0", 1, "W"),
+            {"name": "fault.crash_abort", "category": "fault",
+             "phase": "i", "ts": 0.0, "args": {"root": 0}},
+            grant("T5", 1, "W"),
+        ]
+        assert check_single_writer(trace) == []
+
+
+class TestRetainedDescendants:
+    def test_foreign_family_admitted_under_retention(self):
+        trace = [prefetch("T1/r0", 1, "W", lineage=[0]),
+                 grant("T5", 1, "W")]
+        assert checkers(check_retained_descendants(trace)) == [
+            "invariant.retained-descendants"
+        ]
+
+    def test_descendant_admitted_under_retention(self):
+        trace = [prefetch("T1/r0", 1, "W", lineage=[0]),
+                 grant("T9/r0", 1, "W", lineage=[1, 0])]
+        assert check_retained_descendants(trace) == []
+
+    def test_read_retention_shares_with_foreign_readers(self):
+        trace = [prefetch("T1/r0", 1, "R", lineage=[0]),
+                 grant("T5", 1, "R")]
+        assert check_retained_descendants(trace) == []
+        writer = trace[:1] + [grant("T5", 1, "W")]
+        assert len(check_retained_descendants(writer)) == 1
+
+    def test_inherited_retention_keeps_the_held_mode(self):
+        # A read hold pre-committed up the tree stays a *read*
+        # retention — a foreign reader admitted afterwards is legal.
+        trace = [grant("T1/r0", 1, "R", lineage=[0]),
+                 inherit("T1/r0", "T0", [1]),
+                 txn_end("T1/r0", "commit"),
+                 grant("T5", 1, "R")]
+        assert check_retained_descendants(trace) == []
+        # The same choreography with a write hold still excludes.
+        written = [grant("T1/r0", 1, "W", lineage=[0]),
+                   inherit("T1/r0", "T0", [1]),
+                   txn_end("T1/r0", "commit"),
+                   grant("T5", 1, "R")]
+        assert len(check_retained_descendants(written)) == 1
+
+    def test_retention_moves_up_on_inherit(self):
+        # After T1/r0 pre-commits, the *root* retains; a stranger is
+        # still excluded, a child of the root is still admitted.
+        prefix = [prefetch("T1/r0", 1, "W", lineage=[0]),
+                  inherit("T1/r0", "T0", [1]),
+                  txn_end("T1/r0", "commit")]
+        stranger = prefix + [grant("T5", 1, "W")]
+        assert len(check_retained_descendants(stranger)) == 1
+        child = prefix + [grant("T2/r0", 1, "W", lineage=[0])]
+        assert check_retained_descendants(child) == []
+
+    def test_root_end_drops_family_retentions(self):
+        trace = [prefetch("T1/r0", 1, "W", lineage=[0]),
+                 inherit("T1/r0", "T0", [1]),
+                 release(0, [1]),
+                 txn_end("T0", "commit"),
+                 grant("T5", 1, "W")]
+        assert check_retained_descendants(trace) == []
+
+
+class TestPageVersionMonotonic:
+    def test_growing_versions_are_clean(self):
+        trace = [install(1, {"0": 1, "1": 1}), install(1, {"0": 2}),
+                 install(1, {"0": 2})]
+        assert check_page_version_monotonic(trace) == []
+
+    def test_regression_is_flagged(self):
+        trace = [install(1, {"0": 3}), install(1, {"0": 2})]
+        violations = check_page_version_monotonic(trace)
+        assert checkers(violations) == ["invariant.page-version"]
+        assert "stale" in violations[0].message
+
+    def test_objects_and_pages_are_independent(self):
+        trace = [install(1, {"0": 5}), install(2, {"0": 1}),
+                 install(1, {"1": 1})]
+        assert check_page_version_monotonic(trace) == []
+
+
+class TestCommitOrder:
+    def test_conflicting_grants_must_commit_in_order(self):
+        trace = [
+            grant("T0", 1, "W"), release(0, [1]),
+            grant("T5", 1, "W"), release(5, [1]),
+            txn_end("T5", "commit"), txn_end("T0", "commit"),
+        ]
+        assert checkers(check_commit_order(trace)) == [
+            "invariant.commit-order"
+        ]
+
+    def test_matching_orders_are_clean(self):
+        trace = [
+            grant("T0", 1, "W"), release(0, [1]), txn_end("T0", "commit"),
+            grant("T5", 1, "W"), release(5, [1]), txn_end("T5", "commit"),
+        ]
+        assert check_commit_order(trace) == []
+
+    def test_read_read_order_is_unconstrained(self):
+        trace = [
+            grant("T0", 1, "R"), grant("T5", 1, "R"),
+            txn_end("T5", "commit"), txn_end("T0", "commit"),
+        ]
+        assert check_commit_order(trace) == []
+
+    def test_uncommitted_families_are_ignored(self):
+        trace = [grant("T0", 1, "W"), grant("T5", 1, "W"),
+                 txn_end("T5", "commit")]
+        assert check_commit_order(trace) == []
+
+
+class TestRunInvariants:
+    def test_aggregates_every_checker(self):
+        trace = [
+            grant("T0", 1, "W"), wait_grant("T5", 1, "W"),
+            install(2, {"0": 3}), install(2, {"0": 1}),
+        ]
+        tags = checkers(run_invariants(trace))
+        assert "invariant.single-writer" in tags
+        assert "invariant.page-version" in tags
+
+    def test_live_cluster_trace_is_clean(self):
+        cluster = make_cluster(protocol="lotec", seed=4, trace=True)
+        counter = cluster.create(Counter)
+        for node in cluster.nodes:
+            cluster.submit(counter, "add", 1, node=node)
+        cluster.run()
+        assert run_invariants(cluster.trace_events) == []

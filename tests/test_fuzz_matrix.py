@@ -1,0 +1,27 @@
+"""Crash x protocol fuzz matrix (slow tier).
+
+Every fault preset crossed with every protocol, five fuzz seeds each,
+cycling through the adversarial tie-break policies: the run must stay
+serializable and pass the reference model and every invariant checker.
+Excluded from the default test run — select with ``-m slow``.
+"""
+
+import pytest
+
+from repro.check import ALL_PROTOCOLS, run_campaign
+from repro.faults import FAULT_PRESETS
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+@pytest.mark.parametrize("preset", sorted(FAULT_PRESETS))
+def test_preset_protocol_matrix_is_clean(preset, protocol):
+    result = run_campaign(
+        seeds=5, protocols=(protocol,), presets=(preset,),
+        scenario="medium-high", scale=0.25, nodes=4,
+    )
+    assert result.ok, [
+        line for failure in result.failures
+        for line in failure.report.failure_summary()
+    ]
+    assert result.tasks_run == 5

@@ -1,0 +1,151 @@
+"""Tie-break policies: same-instant schedule perturbation.
+
+The load-bearing property is the *default*: with no policy installed
+(or the explicit ``"fifo"`` spec) the engine must order same-instant
+events exactly as it always has, byte-identical at the trace level.
+Everything else — lifo, the seeded random walk, the adversarial
+policies — only reorders events *within* one instant and must itself
+be deterministic, since a (seed, policy) pair names one reproducible
+interleaving for the fuzzer.
+"""
+
+import pytest
+
+from repro.check import trace_to_jsonl
+from repro.check.events import event_dicts
+from repro.runtime import Cluster, ClusterConfig
+from repro.sim.engine import Environment
+from repro.sim.tiebreak import (
+    TIEBREAK_POLICIES,
+    LifoTieBreak,
+    RandomWalkTieBreak,
+    ReaderFirstTieBreak,
+    StarveNodeTieBreak,
+    TieBreakPolicy,
+    WriterFirstTieBreak,
+    make_tiebreak,
+    validate_tiebreak,
+)
+from repro.util.errors import ConfigurationError
+from repro.workload.generator import generate_workload
+from repro.workload.params import SCENARIOS
+from repro.workload.runner import run_workload
+
+
+def fire_order(env, hints_list):
+    """Trigger one event per hints dict at the same instant; run the
+    engine and return the order in which they were processed."""
+    order = []
+    for label, hints in enumerate(hints_list):
+        event = env.event(name=f"e{label}")
+        if hints:
+            event.hints = hints
+        event.add_callback(lambda _e, label=label: order.append(label))
+        event.succeed()
+    env.run()
+    return order
+
+
+class TestEngineOrdering:
+    def test_default_is_fifo(self):
+        assert fire_order(Environment(), [{}] * 4) == [0, 1, 2, 3]
+
+    def test_explicit_fifo_policy_matches_default(self):
+        env = Environment(tiebreak=TieBreakPolicy())
+        assert fire_order(env, [{}] * 4) == [0, 1, 2, 3]
+
+    def test_lifo_reverses_same_instant_events(self):
+        env = Environment(tiebreak=LifoTieBreak())
+        assert fire_order(env, [{}] * 4) == [3, 2, 1, 0]
+
+    def test_writer_first_promotes_write_hints(self):
+        env = Environment(tiebreak=WriterFirstTieBreak())
+        hints = [{"mode": "R"}, {"mode": "R"}, {"mode": "W"}, {}]
+        # Writer first, unhinted middle, readers last.
+        assert fire_order(env, hints) == [2, 3, 0, 1]
+
+    def test_reader_first_mirrors_writer_first(self):
+        env = Environment(tiebreak=ReaderFirstTieBreak())
+        hints = [{"mode": "W"}, {"mode": "R"}, {}]
+        assert fire_order(env, hints) == [1, 2, 0]
+
+    def test_starve_node_demotes_one_node(self):
+        env = Environment(tiebreak=StarveNodeTieBreak(1))
+        hints = [{"node": 1}, {"node": 0}, {"node": 1}, {"node": 2}]
+        assert fire_order(env, hints) == [1, 3, 0, 2]
+
+    def test_causality_survives_any_policy(self):
+        # LIFO reorders instants internally but a later timeout still
+        # fires after every time-zero event.
+        env = Environment(tiebreak=LifoTieBreak())
+        order = []
+        late = env.timeout(0.5)
+        late.add_callback(lambda _e: order.append("late"))
+        for label in range(3):
+            event = env.event()
+            event.add_callback(lambda _e, label=label: order.append(label))
+            event.succeed()
+        env.run()
+        assert order == [2, 1, 0, "late"]
+
+    def test_random_walk_is_seed_deterministic(self):
+        runs = []
+        for _ in range(2):
+            env = Environment(tiebreak=RandomWalkTieBreak(seed=7))
+            runs.append(fire_order(env, [{}] * 8))
+        assert runs[0] == runs[1]
+        other = fire_order(
+            Environment(tiebreak=RandomWalkTieBreak(seed=8)), [{}] * 8
+        )
+        assert other != runs[0]  # 8! orderings; seeds 7/8 differ
+
+
+class TestSpecParsing:
+    @pytest.mark.parametrize("spec", TIEBREAK_POLICIES)
+    def test_every_named_policy_validates(self, spec):
+        validate_tiebreak(spec)
+
+    @pytest.mark.parametrize("spec", ["bogus", "starve-node:x", "fifo:2"])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            validate_tiebreak(spec)
+
+    def test_fifo_builds_no_policy(self):
+        assert make_tiebreak("fifo", seed=3, num_nodes=4) is None
+
+    def test_starve_node_index_forms(self):
+        explicit = make_tiebreak("starve-node:2", seed=0, num_nodes=4)
+        assert explicit.node_index == 2
+        derived = make_tiebreak("starve-node", seed=7, num_nodes=4)
+        assert derived.node_index == 7 % 4
+        with pytest.raises(ConfigurationError):
+            make_tiebreak("starve-node:9", seed=0, num_nodes=4)
+
+    def test_cluster_config_validates_spec(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(num_nodes=2, tiebreak="bogus")
+
+
+def workload_trace(**overrides):
+    config = ClusterConfig(num_nodes=4, protocol="lotec", seed=5,
+                           audit_accesses=False, trace=True, **overrides)
+    cluster = Cluster(config)
+    params = SCENARIOS["medium-high"].scaled(0.125)
+    run_workload(cluster, generate_workload(params, seed=5))
+    return trace_to_jsonl(event_dicts(cluster.trace_events))
+
+
+class TestWorkloadLevelRegression:
+    def test_default_config_is_byte_identical_to_explicit_fifo(self):
+        # The regression gate for the whole feature: threading a
+        # tie-break hook through the engine must not move a single
+        # event of the default schedule.
+        assert workload_trace() == workload_trace(tiebreak="fifo")
+
+    def test_random_policy_actually_perturbs(self):
+        assert workload_trace(tiebreak="random") != workload_trace()
+
+    def test_perturbed_runs_reproduce(self):
+        first = workload_trace(tiebreak="random")
+        second = workload_trace(tiebreak="random")
+        assert first == second
