@@ -21,6 +21,7 @@ from repro.bench.experiments import (
     build_plan,
     run_aggregation_ablation,
     run_bytes_figure,
+    run_claims_locality,
     run_claims_messages,
     run_claims_reduction,
     run_gdo_cache_ablation,
@@ -62,6 +63,7 @@ __all__ = [
     "run_time_figure",
     "run_claims_reduction",
     "run_claims_messages",
+    "run_claims_locality",
     "run_rc_ablation",
     "run_recovery_ablation",
     "run_multicast_ablation",

@@ -29,6 +29,7 @@ from repro.bench.parallel import (
     register_builder,
 )
 from repro.bench.report import format_bar_chart, format_series_table
+from repro.gdo.migration import MigrationConfig
 from repro.net.presets import SOFTWARE_COSTS, preset_network
 from repro.runtime.cluster import Cluster
 from repro.runtime.config import ClusterConfig
@@ -1034,6 +1035,130 @@ def run_aggregation_ablation(seed: int = 11, num_nodes: int = 4,
 
 
 # ---------------------------------------------------------------------------
+# Open-loop load + adaptive home migration (repro.load / repro.gdo.migration)
+# ---------------------------------------------------------------------------
+
+@register_builder("load")
+def _load_run(config: ClusterConfig,
+              args: Dict[str, object]) -> Dict[str, object]:
+    """One open-loop load execution: scenario + seed -> measurement.
+
+    The :class:`~repro.load.engine.Load` is rebuilt inside the worker
+    (generation is deterministic and cheap), so the spec stays a small
+    picklable value."""
+    from repro.load import build_load, run_load
+
+    load = build_load(args["scenario"], seed=args["seed"],
+                      scale=args["scale"])
+    cluster = Cluster(config)
+    run = run_load(cluster, load)
+    measurement = cluster_measurement(cluster)
+    measurement["committed"] = run.committed
+    measurement["failed"] = run.failed
+    measurement["deadlocks"] = cluster.lock_stats.deadlocks
+    return measurement
+
+
+def plan_claims_locality(scenario: str = "zipf-hot", seed: int = 7,
+                         scale: float = 1.0,
+                         migration: Optional[MigrationConfig] = None,
+                         num_nodes: Optional[int] = None,
+                         ) -> ExperimentPlan:
+    """Static round-robin homes vs adaptive migration on one skewed
+    open-loop scenario — identical load, only the directory policy
+    differs.  The committed baseline
+    ``benchmarks/baselines/claims_locality.json`` pins this plan's
+    numbers and requires the migration run to cut remote directory
+    messages by at least 30%.
+
+    ``num_nodes`` is accepted for registry compatibility but ignored:
+    the cluster always runs one node per scenario client — the client
+    population *is* the topology under study."""
+    from repro.load import LOAD_SCENARIOS
+
+    del num_nodes
+    try:
+        num_nodes = LOAD_SCENARIOS[scenario].clients
+    except KeyError:
+        raise KeyError(
+            f"unknown load scenario {scenario!r}; "
+            f"choose from {sorted(LOAD_SCENARIOS)}"
+        ) from None
+    variants = (
+        ("static", None),
+        ("adaptive", migration or MigrationConfig()),
+    )
+    specs = [
+        RunSpec(
+            driver=f"claims-locality:{scenario}", key=label,
+            config=_base_config(num_nodes, seed, protocol="lotec",
+                                trace=True, migration=policy),
+            seed=seed,
+            builder="load",
+            builder_args=(
+                ("scenario", scenario), ("seed", seed), ("scale", scale),
+            ),
+        )
+        for label, policy in variants
+    ]
+
+    def collect(measurements: List[Dict]) -> ExperimentResult:
+        from repro.load import shard_slo_series
+
+        series: Dict[str, Dict[str, object]] = {
+            "remote_directory_messages": {}, "total_messages": {},
+            "committed": {}, "failed": {}, "migrations": {},
+        }
+        slo: Dict[str, Dict[str, Dict[object, float]]] = {}
+        for (label, _), m in zip(variants, measurements):
+            series["remote_directory_messages"][label] = (
+                m["network"]["remote_directory_messages"]
+            )
+            series["total_messages"][label] = m["network"]["total_messages"]
+            series["committed"][label] = m["committed"]
+            series["failed"][label] = m["failed"]
+            migration_stats = m.get("migration")
+            series["migrations"][label] = (
+                migration_stats["migrations"] if migration_stats else 0
+            )
+            if "metrics" in m:
+                slo[label] = shard_slo_series(m["metrics"])
+        static_dir = series["remote_directory_messages"]["static"]
+        adaptive_dir = series["remote_directory_messages"]["adaptive"]
+        reduction = (
+            1 - adaptive_dir / static_dir if static_dir else 0.0
+        )
+        adaptive = measurements[1]
+        return ExperimentResult(
+            experiment=f"directory locality (static vs adaptive) — "
+                       f"{scenario}",
+            x_label="policy",
+            series=series,
+            meta={
+                "scenario": scenario,
+                "directory_message_reduction": round(reduction, 4),
+                "migration": adaptive.get("migration"),
+                "slo": slo,
+            },
+        )
+
+    return ExperimentPlan(f"claims-locality:{scenario}", specs, collect)
+
+
+def run_claims_locality(scenario: str = "zipf-hot", seed: int = 7,
+                        scale: float = 1.0,
+                        migration: Optional[MigrationConfig] = None,
+                        runner: Optional[ExperimentRunner] = None,
+                        ) -> ExperimentResult:
+    """Adaptive GDO home migration vs the paper's static round-robin
+    partition (§4.1) under a skewed open-loop load: remote directory
+    messages, migration counts, and per-shard SLO tables."""
+    return _runner(runner).run_plan(plan_claims_locality(
+        scenario, seed=seed, scale=scale, migration=migration,
+    ))
+
+
+# ---------------------------------------------------------------------------
 # Experiment registry (the CLI's experiment ids)
 # ---------------------------------------------------------------------------
 
@@ -1056,6 +1181,7 @@ PLAN_BUILDERS: Dict[str, Callable[..., ExperimentPlan]] = {
     "abl-multicast": plan_multicast_ablation,
     "abl-prefetch": plan_prefetch_ablation,
     "abl-perclass": plan_per_class_ablation,
+    "claims-locality": plan_claims_locality,
 }
 
 

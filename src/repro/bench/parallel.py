@@ -181,6 +181,7 @@ def cluster_measurement(cluster: Cluster) -> Dict[str, object]:
             "total_time": stats.total_time,
             "consistency_bytes": stats.consistency_bytes(),
             "data_messages": data_messages,
+            "remote_directory_messages": stats.directory_messages(),
             "by_category": {
                 category.value: {
                     "messages": stats.by_category_messages.get(category, 0),
@@ -195,6 +196,8 @@ def cluster_measurement(cluster: Cluster) -> Dict[str, object]:
         "prediction": cluster.protocol.snapshot(),
         "state_digest": state_digest_hash(cluster),
     }
+    if cluster.migration is not None:
+        measurement["migration"] = cluster.migration.stats.snapshot()
     if cluster.tracer.enabled and cluster.metrics is not None:
         # Per-run metrics ride home inside the measurement, so a pool
         # worker's registry survives the trip back to the parent.

@@ -24,6 +24,7 @@ from repro.check.events import Violation, event_dicts
 from repro.check.invariants import run_invariants
 from repro.check.reference import check_reference_model
 from repro.faults.plan import FAULT_PRESETS
+from repro.gdo.migration import MigrationConfig
 from repro.runtime.cluster import Cluster
 from repro.runtime.config import ClusterConfig
 from repro.runtime.verify import (
@@ -53,6 +54,7 @@ class FuzzTask:
     scenario: str = "medium-high"
     scale: float = 0.25
     nodes: int = 4
+    migration: bool = False           # adaptive GDO home migration
     mutate: Tuple[str, ...] = ()      # test-only LockManager mutations
 
     def describe(self) -> str:
@@ -61,6 +63,8 @@ class FuzzTask:
             f"preset={self.preset or 'none'}", f"policy={self.policy}",
             self.scenario, f"scale={self.scale}", f"nodes={self.nodes}",
         ]
+        if self.migration:
+            parts.append("migration")
         if self.mutate:
             parts.append(f"mutate={','.join(self.mutate)}")
         return " ".join(parts)
@@ -112,6 +116,9 @@ def build_config(task: FuzzTask) -> ClusterConfig:
         num_nodes=task.nodes, protocol=task.protocol, seed=task.seed,
         audit_accesses=False, trace=True, tiebreak=task.policy,
         faults=FAULT_PRESETS[task.preset] if task.preset else None,
+        # Default policy knobs: eager enough to actually migrate at
+        # fuzz scale, so the checkers exercise moved entries.
+        migration=MigrationConfig() if task.migration else None,
     )
 
 
@@ -179,6 +186,8 @@ def repro_command(task: FuzzTask) -> str:
         f"--scenario {task.scenario}", f"--scale {task.scale}",
         f"--nodes {task.nodes}",
     ]
+    if task.migration:
+        parts.append("--migration")
     if task.mutate:
         parts.append(f"--mutate {','.join(task.mutate)}")
     return " ".join(parts)
@@ -205,6 +214,7 @@ def minimize(task: FuzzTask, max_attempts: int = 8) -> FuzzTask:
 
     for build in (
         lambda t: replace(t, preset=None) if t.preset else None,
+        lambda t: replace(t, migration=False) if t.migration else None,
         lambda t: replace(t, policy="fifo") if t.policy != "fifo" else None,
         lambda t: replace(t, scale=round(t.scale / 2, 4))
         if t.scale > 0.06 else None,

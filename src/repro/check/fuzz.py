@@ -88,6 +88,7 @@ def run_campaign(
     scenario: str = "medium-high",
     scale: float = 0.25,
     nodes: int = 4,
+    migration: bool = False,
     mutate: Tuple[str, ...] = (),
     out_dir: Optional[str] = None,
     minimize_failures: bool = True,
@@ -113,7 +114,7 @@ def run_campaign(
                 task = FuzzTask(
                     seed=seed, protocol=protocol, preset=preset,
                     policy=policy, scenario=scenario, scale=scale,
-                    nodes=nodes, mutate=mutate,
+                    nodes=nodes, migration=migration, mutate=mutate,
                 )
                 report = run_task(task)
                 result.tasks_run += 1

@@ -29,7 +29,17 @@ Commands:
   ordering, judge every run with the serializability oracles, the
   nested-O2PL reference model, and the trace invariant checkers, and
   on failure print a minimized one-line repro command (``--out DIR``
-  also dumps the failing trace as JSONL + a text report).
+  also dumps the failing trace as JSONL + a text report);
+  ``--migration`` runs every task with adaptive GDO home migration
+  enabled.
+* ``load <scenario>`` — run one open-loop load scenario
+  (:mod:`repro.load`: Zipf popularity, per-client locality, Poisson or
+  bursty arrivals) on a one-node-per-client cluster with adaptive GDO
+  home migration (``--no-migration`` for the static partition), print
+  the per-shard p50/p99/p999 request-latency SLO table, and optionally
+  gate on the serializability oracle (``--check``) and write trace
+  artifacts (``--trace-dir``).  ``--out`` writes the same
+  schema-versioned JSON envelope the experiment drivers emit.
 * ``list`` — show available experiment ids and scenarios.
 * ``version`` (or ``--version``) — print the package version.
 
@@ -56,6 +66,8 @@ from repro.bench import (
 )
 from repro.check import ALL_PROTOCOLS, DEFAULT_POLICIES, run_campaign
 from repro.faults import FAULT_PRESETS
+from repro.gdo.migration import MigrationConfig
+from repro.load import LOAD_SCENARIOS, build_load, run_load, shard_slo_series
 from repro.obs import render_summary, write_chrome_trace, write_jsonl
 from repro.runtime.cluster import Cluster
 from repro.runtime.config import ClusterConfig
@@ -224,6 +236,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--quiet", action="store_true",
                       help="suppress the per-task progress lines")
+    fuzz.add_argument("--migration", action="store_true",
+                      help="enable adaptive GDO home migration in "
+                           "every task")
+
+    load = sub.add_parser(
+        "load",
+        help="run an open-loop load scenario; print per-shard SLO tables",
+    )
+    load.add_argument("scenario", choices=sorted(LOAD_SCENARIOS))
+    load.add_argument("--seed", type=int, default=7)
+    load.add_argument("--scale", type=float, default=1.0,
+                      help="root-transaction count factor (1.0 = full)")
+    load.add_argument("--no-migration", action="store_true",
+                      help="static round-robin homes (no adaptive "
+                           "migration)")
+    load.add_argument("--check", action="store_true",
+                      help="gate on the serializability oracle: exit "
+                           "nonzero if the run is not equivalent to a "
+                           "serial replay")
+    load.add_argument("--trace-dir", metavar="DIR",
+                      help="write trace artifacts (JSONL + Chrome trace) "
+                           "to this directory")
+    _add_output_arguments(load)
 
     sub.add_parser("list", help="list experiment ids and scenarios")
     sub.add_parser("version", help="print the package version")
@@ -258,6 +293,9 @@ def _render(result: ExperimentResult, output_format: str) -> str:
 
 
 def _write_result(result: ExperimentResult, path: str) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(result.to_json(), handle, indent=2)
         handle.write("\n")
@@ -497,6 +535,7 @@ def _cmd_fuzz(args) -> int:
         seeds=args.seeds, seed_base=args.seed_base,
         protocols=protocols, presets=presets, policies=policies,
         scenario=args.scenario, scale=args.scale, nodes=args.nodes,
+        migration=args.migration,
         mutate=tuple(_split_csv(args.mutate)), out_dir=args.out,
         minimize_failures=not args.no_minimize,
         stop_on_failure=args.stop_on_failure,
@@ -521,6 +560,77 @@ def _cmd_fuzz(args) -> int:
     return 1
 
 
+def _cmd_load(args) -> int:
+    output_format = _resolve_output(args)
+    load = build_load(args.scenario, seed=args.seed, scale=args.scale)
+    scenario = load.scenario
+    migration = None if args.no_migration else MigrationConfig()
+    cluster = Cluster(ClusterConfig(
+        num_nodes=scenario.clients, protocol="lotec", seed=args.seed,
+        audit_accesses=False, trace=True, migration=migration,
+    ))
+    run = run_load(cluster, load)
+    stats = cluster.network_stats
+    policy = "static" if migration is None else "adaptive"
+    print(f"load {args.scenario} (seed {args.seed}, scale {args.scale}, "
+          f"{scenario.clients} clients, {policy} homes): "
+          f"{run.committed} committed, {run.failed} failed, "
+          f"{stats.directory_messages()} remote directory messages")
+    if cluster.migration is not None:
+        snapshot = cluster.migration.stats.snapshot()
+        print(f"migrations: {snapshot['migrations']}, forwarded "
+              f"requests: {snapshot['forwarded_requests']} "
+              f"(considered {snapshot['considered']})")
+    result = ExperimentResult(
+        experiment=f"per-shard SLO — {args.scenario} ({policy})",
+        x_label="shard",
+        series=shard_slo_series(cluster.metrics.snapshot()),
+        meta={
+            "scenario": args.scenario, "seed": args.seed,
+            "scale": args.scale, "clients": scenario.clients,
+            "policy": policy,
+            "committed": run.committed, "failed": run.failed,
+            "remote_directory_messages": stats.directory_messages(),
+            "migration": (
+                cluster.migration.stats.snapshot()
+                if cluster.migration is not None else None
+            ),
+        },
+    )
+    print()
+    print(_render(result, output_format))
+    if args.out:
+        _write_result(result, args.out)
+        print(f"\nwrote {args.out}")
+    if args.trace_dir:
+        try:
+            os.makedirs(args.trace_dir, exist_ok=True)
+        except (FileExistsError, NotADirectoryError):
+            print(f"error: --trace-dir {args.trace_dir!r} exists and is "
+                  f"not a directory", file=sys.stderr)
+            return 2
+        base = os.path.join(
+            args.trace_dir, f"{args.scenario}-{policy}"
+        )
+        jsonl_path = f"{base}.jsonl"
+        chrome_path = f"{base}.chrome.json"
+        write_jsonl(cluster.trace_events, jsonl_path)
+        write_chrome_trace(cluster.trace_events, chrome_path)
+        print(f"\nwrote {jsonl_path}")
+        print(f"wrote {chrome_path} (load in Perfetto / chrome://tracing)")
+    if args.check:
+        report = check_serializability(cluster)
+        if report.equivalent:
+            print(f"\nserializability: OK ({report.committed_roots} "
+                  f"committed roots replay clean)")
+        else:
+            print("\nserializability: FAILED", file=sys.stderr)
+            for line in report.state_mismatches + report.result_mismatches:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_version(_args) -> int:
     print(_package_version())
     return 0
@@ -532,6 +642,9 @@ def _cmd_list(_args) -> int:
         print(f"  {key}")
     print("\nscenarios (for `compare`):")
     for key in sorted(SCENARIOS):
+        print(f"  {key}")
+    print("\nload scenarios (for `load`):")
+    for key in sorted(LOAD_SCENARIOS):
         print(f"  {key}")
     return 0
 
@@ -545,6 +658,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "chaos": _cmd_chaos,
         "fuzz": _cmd_fuzz,
+        "load": _cmd_load,
         "list": _cmd_list,
         "version": _cmd_version,
     }

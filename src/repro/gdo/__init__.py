@@ -10,7 +10,9 @@ intra-family lock traffic stays local (the local/global split of
 Algorithms 4.1-4.4).
 
 This reproduction adds a waits-for-graph deadlock detector, which the
-paper leaves unaddressed (see DESIGN.md, Substitutions).
+paper leaves unaddressed (see DESIGN.md, Substitutions), and optional
+adaptive home migration (:mod:`repro.gdo.migration`, DESIGN §11) that
+re-homes hot entries toward their dominant accessor.
 """
 
 from repro.gdo.entry import (
@@ -24,6 +26,11 @@ from repro.gdo.entry import (
 from repro.gdo.deadlock import DeadlockDetector
 from repro.gdo.directory import Directory
 from repro.gdo.cache import EntryCacheTracker
+from repro.gdo.migration import (
+    HomeMigrationManager,
+    MigrationConfig,
+    MigrationStats,
+)
 
 __all__ = [
     "DirectoryEntry",
@@ -35,4 +42,7 @@ __all__ = [
     "DeadlockDetector",
     "Directory",
     "EntryCacheTracker",
+    "HomeMigrationManager",
+    "MigrationConfig",
+    "MigrationStats",
 ]

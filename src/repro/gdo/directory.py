@@ -48,6 +48,24 @@ class Directory:
         self.tracer.gdo_register(object_id, entry.home_node, page_count)
         return entry
 
+    def move_home(self, object_id: ObjectId, new_home: NodeId) -> NodeId:
+        """Re-home an entry (adaptive migration); returns the old home.
+
+        Callers (the lock manager, driven by
+        :class:`~repro.gdo.migration.HomeMigrationManager`) must only
+        move quiescent entries and are responsible for charging the
+        handoff message and invalidating holder caches.
+        """
+        if new_home not in self._nodes:
+            raise ConfigurationError(
+                f"cannot re-home {object_id!r} to unknown node {new_home!r}"
+            )
+        entry = self.entry(object_id)
+        old_home = entry.home_node
+        entry.home_node = new_home
+        self.tracer.gdo_migrate(object_id, old_home, new_home)
+        return old_home
+
     def entry(self, object_id: ObjectId) -> DirectoryEntry:
         try:
             return self._entries[object_id]

@@ -1,0 +1,45 @@
+"""Open-loop traffic generation (ROADMAP item 1).
+
+The paper's §5 workloads are *closed-loop*: a fixed set of root
+transactions is generated up front and each client implicitly waits
+for its previous transaction before measuring anything — a regime
+that can never over-drive a hot object the way a large user population
+does.  This package adds the missing open-loop side:
+
+* :mod:`repro.load.arrivals` — arrival processes (Poisson and a
+  bursty two-state MMPP) that emit transaction start times
+  *independently of completion*.
+* :mod:`repro.load.scenario` — named load scenarios: client
+  population, Zipf popularity skew, per-client locality, arrival
+  process, and intensity.
+* :mod:`repro.load.engine` — deterministic scenario + seed ->
+  :class:`Load` (plan trees, arrival offsets, client assignment), all
+  randomness drawn from the dedicated ``rng.derive("load")`` stream so
+  load schedules and fault schedules stay independent.
+* :mod:`repro.load.runner` — submit a :class:`Load` on a cluster,
+  pinning each root to its client's node.
+* :mod:`repro.load.slo` — per-shard p50/p99/p999 request-latency and
+  queue-depth SLO tables from the :mod:`repro.obs` metrics.
+
+Its natural counterpart is directory-side adaptive home migration
+(:mod:`repro.gdo.migration`): the skewed open-loop traffic produces
+the hot entries migration exists to re-home.
+"""
+
+from repro.load.arrivals import BurstyArrivals, PoissonArrivals
+from repro.load.engine import Load, build_load
+from repro.load.runner import run_load
+from repro.load.scenario import LOAD_SCENARIOS, LoadScenario
+from repro.load.slo import shard_slo_series, snapshot_percentile
+
+__all__ = [
+    "BurstyArrivals",
+    "PoissonArrivals",
+    "Load",
+    "build_load",
+    "run_load",
+    "LOAD_SCENARIOS",
+    "LoadScenario",
+    "shard_slo_series",
+    "snapshot_percentile",
+]

@@ -1,0 +1,82 @@
+"""Open-loop arrival processes.
+
+An open-loop source emits start times from a stochastic process that
+never looks at completions: if the system falls behind, arrivals keep
+coming and queues grow — exactly the regime that exposes hot-shard
+queueing, which closed-loop workloads structurally cannot produce.
+
+Both processes draw every variate from an injected
+:class:`~repro.util.rng.SeededRNG` (the cluster-independent
+``derive("load")`` stream), so an offset list is a pure function of
+(scenario, seed) and byte-identical across repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals at a constant mean rate."""
+
+    rate_tps: float  # mean arrivals per simulated second
+
+    def __post_init__(self) -> None:
+        if self.rate_tps <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+
+    def offsets(self, count: int, rng: SeededRNG) -> List[float]:
+        clock = 0.0
+        out: List[float] = []
+        for _ in range(count):
+            clock += rng.expovariate(self.rate_tps)
+            out.append(clock)
+        return out
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """Two-state Markov-modulated Poisson process (calm / burst).
+
+    The process alternates between a calm phase and a burst phase,
+    each with exponentially distributed dwell time; within a phase
+    arrivals are Poisson at that phase's rate.  Because exponentials
+    are memoryless, redrawing the interarrival at each phase switch is
+    an exact simulation, not an approximation.
+    """
+
+    calm_rate_tps: float
+    burst_rate_tps: float
+    mean_calm_s: float
+    mean_burst_s: float
+
+    def __post_init__(self) -> None:
+        if self.calm_rate_tps <= 0 or self.burst_rate_tps <= 0:
+            raise ConfigurationError("arrival rates must be positive")
+        if self.mean_calm_s <= 0 or self.mean_burst_s <= 0:
+            raise ConfigurationError("phase dwell times must be positive")
+
+    def offsets(self, count: int, rng: SeededRNG) -> List[float]:
+        clock = 0.0
+        bursting = False
+        phase_end = rng.expovariate(1.0 / self.mean_calm_s)
+        out: List[float] = []
+        while len(out) < count:
+            rate = self.burst_rate_tps if bursting else self.calm_rate_tps
+            gap = rng.expovariate(rate)
+            if clock + gap >= phase_end:
+                # Phase switch before the next arrival; the discarded
+                # residual is memoryless, so restart the draw.
+                clock = phase_end
+                bursting = not bursting
+                dwell = self.mean_burst_s if bursting else self.mean_calm_s
+                phase_end = clock + rng.expovariate(1.0 / dwell)
+                continue
+            clock += gap
+            out.append(clock)
+        return out

@@ -1,0 +1,158 @@
+"""Deterministic load construction: (scenario, seed) -> :class:`Load`.
+
+Everything random here — class shapes, object-class assignment, client
+draws, arrival times, plan trees — comes from sub-streams of
+``SeededRNG(seed).derive("load")``.  That one derivation is the seed
+hygiene the fault engine already established for its own stream: the
+load schedule is independent of the ``"workload"``, ``"faults"``,
+``"executor"``, and ``"scheduler"`` streams, so adding or removing a
+fault plan cannot perturb arrivals and vice versa (proved by
+``tests/test_load_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.load.scenario import LOAD_SCENARIOS, LoadScenario
+from repro.util.rng import SeededRNG
+from repro.workload.generator import PlanNode, Workload, pick_method
+from repro.workload.synth import SyntheticClassFactory, SyntheticClassInfo
+
+
+@dataclass
+class Load:
+    """One fully generated open-loop load, ready to run anywhere.
+
+    Like a :class:`~repro.workload.generator.Workload`, a ``Load`` is
+    cluster-independent: the same object can drive a static-partition
+    cluster and a migration-enabled one with the identical traffic —
+    the only variable is the directory policy under test.
+    """
+
+    scenario: LoadScenario
+    seed: int
+    workload: Workload          # classes, object world, plans, offsets
+    clients: List[int]          # plan index -> client index
+
+    @property
+    def num_objects(self) -> int:
+        return self.workload.num_objects
+
+
+def build_load(scenario_or_name, seed: int, scale: float = 1.0,
+               page_size: int = 4096) -> Load:
+    """Generate the full load for a scenario at ``scale``."""
+    if isinstance(scenario_or_name, str):
+        try:
+            scenario = LOAD_SCENARIOS[scenario_or_name]
+        except KeyError:
+            raise KeyError(
+                f"unknown load scenario {scenario_or_name!r}; choose "
+                f"from {sorted(LOAD_SCENARIOS)}"
+            ) from None
+    else:
+        scenario = scenario_or_name
+    scenario = scenario.scaled(scale)
+    params = scenario.params()
+    rng = SeededRNG(seed).derive("load")
+    factory = SyntheticClassFactory(rng.derive("classes"), page_size)
+    classes = [
+        factory.make_class(
+            name=f"Load{index}",
+            pages=rng.randint(params.pages_min, params.pages_max),
+            access_fraction=params.access_fraction,
+            write_fraction=params.write_fraction,
+        )
+        for index in range(params.num_classes)
+    ]
+    assign_rng = rng.derive("assign")
+    object_classes = [
+        assign_rng.randint(0, params.num_classes - 1)
+        for _ in range(params.num_objects)
+    ]
+    client_rng = rng.derive("clients")
+    clients = [
+        client_rng.randint(0, scenario.clients - 1)
+        for _ in range(scenario.num_roots)
+    ]
+    offsets = scenario.arrivals.offsets(
+        scenario.num_roots, rng.derive("arrivals")
+    )
+    plan_rng = rng.derive("plans")
+    plans = [
+        _build_plan(plan_rng, scenario, classes, object_classes, client)
+        for client in clients
+    ]
+    base = Workload(
+        params=params, classes=classes, object_classes=object_classes,
+        plans=[], arrival_offsets=[],
+    )
+    # with_plans validates every tree against the object world
+    # (indexes, method menus, §3.4 recursion preclusion).
+    workload = base.with_plans(plans, offsets)
+    return Load(scenario=scenario, seed=seed, workload=workload,
+                clients=clients)
+
+
+def _pick_object(rng: SeededRNG, scenario: LoadScenario, client: int,
+                 path: set) -> Optional[int]:
+    """One object draw for ``client``: own block with probability
+    ``locality``, global Zipf otherwise; never an ancestor (§3.4)."""
+    if rng.maybe(scenario.locality):
+        start = client * scenario.block_size
+        for _ in range(12):
+            candidate = start + rng.zipf_index(scenario.block_size,
+                                               scenario.skew)
+            if candidate not in path:
+                return candidate
+    for _ in range(12):
+        candidate = rng.zipf_index(scenario.num_objects, scenario.skew)
+        if candidate not in path:
+            return candidate
+    remaining = [
+        index for index in range(scenario.num_objects) if index not in path
+    ]
+    if not remaining:
+        return None
+    return rng.choice(remaining)
+
+
+def _build_plan(rng: SeededRNG, scenario: LoadScenario,
+                classes: Sequence[SyntheticClassInfo],
+                object_classes: Sequence[int], client: int) -> PlanNode:
+    root_obj = _pick_object(rng, scenario, client, path=set())
+    return _build_node(rng, scenario, classes, object_classes, client,
+                       obj_index=root_obj, depth=0, path={root_obj})
+
+
+def _build_node(rng: SeededRNG, scenario: LoadScenario,
+                classes: Sequence[SyntheticClassInfo],
+                object_classes: Sequence[int], client: int,
+                obj_index: int, depth: int, path: set) -> PlanNode:
+    info = classes[object_classes[obj_index]]
+    method_name = pick_method(rng, info, scenario.update_fraction)
+    children: List[PlanNode] = []
+    if depth < scenario.max_depth:
+        # Same geometric branching decay as the closed-loop generator.
+        expected = scenario.mean_branch / (depth + 1)
+        count = 0
+        while rng.random() < expected / (expected + 1) and count < 6:
+            count += 1
+        for _ in range(count):
+            child_obj = _pick_object(rng, scenario, client, path)
+            if child_obj is None:
+                break
+            path.add(child_obj)
+            children.append(
+                _build_node(rng, scenario, classes, object_classes, client,
+                            obj_index=child_obj, depth=depth + 1, path=path)
+            )
+            path.discard(child_obj)
+    return PlanNode(
+        obj_index=obj_index,
+        method_name=method_name,
+        salt=rng.randint(0, (1 << 31) - 1),
+        children=tuple(children),
+    )

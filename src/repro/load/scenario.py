@@ -1,0 +1,144 @@
+"""Named open-loop load scenarios.
+
+A scenario describes a *client population* and its traffic shape:
+how many clients exist (one simulated node each), how many objects
+they share, how skewed object popularity is, how strongly each client
+prefers its own working set, and the arrival process driving it all.
+
+Object popularity combines two pulls:
+
+* **locality** — with probability ``locality`` a client picks from its
+  own *block* of objects (a contiguous ``num_objects // clients``
+  slice, Zipf-skewed within the block).  Block boundaries are
+  deliberately decorrelated from the directory's round-robin homes
+  (``object_id % num_nodes``), so under the static partition a
+  client's own block lives almost entirely on *other* nodes' homes —
+  the regime adaptive migration (:mod:`repro.gdo.migration`) exists
+  to fix.
+* **global Zipf** — the remaining picks use a cluster-wide Zipf over
+  all objects, concentrating cross-client contention on a few globally
+  hot objects that no single client dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Union
+
+from repro.load.arrivals import BurstyArrivals, PoissonArrivals
+from repro.util.errors import ConfigurationError
+from repro.workload.params import WorkloadParams
+
+ArrivalProcess = Union[PoissonArrivals, BurstyArrivals]
+
+
+@dataclass(frozen=True)
+class LoadScenario:
+    """One open-loop traffic configuration.
+
+    Attributes:
+        name: scenario id (the CLI argument).
+        clients: simulated client population; the driving cluster runs
+            one node per client.
+        num_objects: shared objects (must be >= clients so every
+            client gets a non-empty block).
+        num_classes: synthetic class count.
+        pages_min / pages_max: object size range in pages.
+        skew: Zipf exponent for both in-block and global picks.
+        locality: probability a pick stays in the client's own block.
+        arrivals: the open-loop arrival process.
+        num_roots: root transactions at full scale.
+        max_depth / mean_branch / update_fraction: plan-tree shape
+            (same semantics as :class:`~repro.workload.params.WorkloadParams`).
+    """
+
+    name: str
+    clients: int
+    num_objects: int
+    num_classes: int
+    pages_min: int
+    pages_max: int
+    skew: float
+    locality: float
+    arrivals: ArrivalProcess
+    num_roots: int
+    max_depth: int = 2
+    mean_branch: float = 1.2
+    update_fraction: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ConfigurationError("scenario needs at least one client")
+        if self.num_objects < self.clients:
+            raise ConfigurationError(
+                f"{self.name}: {self.num_objects} objects for "
+                f"{self.clients} clients leaves empty client blocks"
+            )
+        if not 0.0 <= self.locality <= 1.0:
+            raise ConfigurationError("locality must be in [0, 1]")
+        if self.num_roots < 1:
+            raise ConfigurationError("num_roots must be positive")
+
+    @property
+    def block_size(self) -> int:
+        """Objects per client block; trailing remainder objects belong
+        to no block (they are only reachable via the global Zipf)."""
+        return self.num_objects // self.clients
+
+    def block_range(self, client: int):
+        start = client * self.block_size
+        return range(start, start + self.block_size)
+
+    def scaled(self, factor: float) -> "LoadScenario":
+        """Cheaper/costlier copy: scales the root count only — the
+        population, skew, and arrival process stay fixed so the
+        traffic *shape* is scale-invariant."""
+        return replace(
+            self, num_roots=max(1, int(self.num_roots * factor))
+        )
+
+    def params(self) -> WorkloadParams:
+        """The class/object-world parameters of this scenario (the
+        plan trees themselves come from :mod:`repro.load.engine`, not
+        the closed-loop generator)."""
+        return WorkloadParams(
+            num_objects=self.num_objects,
+            num_classes=self.num_classes,
+            pages_min=self.pages_min,
+            pages_max=self.pages_max,
+            num_roots=self.num_roots,
+            max_depth=self.max_depth,
+            mean_branch=self.mean_branch,
+            update_fraction=self.update_fraction,
+            skew=self.skew,
+            mean_interarrival_s=0.0,  # arrivals come from the process
+        )
+
+
+LOAD_SCENARIOS: Dict[str, LoadScenario] = {
+    # The acceptance scenario: 64 clients, Zipf(1.0), strong
+    # per-client locality — the adaptive-migration claims baseline
+    # (benchmarks/baselines/claims_locality.json) pins this one.
+    "zipf-hot": LoadScenario(
+        name="zipf-hot", clients=64, num_objects=256, num_classes=8,
+        pages_min=1, pages_max=3, skew=1.0, locality=0.8,
+        arrivals=PoissonArrivals(rate_tps=4000.0), num_roots=1280,
+    ),
+    # Same population under a two-state MMPP: long calm stretches
+    # punctuated by 8x bursts.
+    "zipf-burst": LoadScenario(
+        name="zipf-burst", clients=64, num_objects=256, num_classes=8,
+        pages_min=1, pages_max=3, skew=1.0, locality=0.8,
+        arrivals=BurstyArrivals(
+            calm_rate_tps=1000.0, burst_rate_tps=8000.0,
+            mean_calm_s=0.02, mean_burst_s=0.005,
+        ),
+        num_roots=1280,
+    ),
+    # Small population for unit tests and the CI load-smoke job.
+    "zipf-smoke": LoadScenario(
+        name="zipf-smoke", clients=8, num_objects=64, num_classes=6,
+        pages_min=1, pages_max=3, skew=1.0, locality=0.8,
+        arrivals=PoissonArrivals(rate_tps=2000.0), num_roots=160,
+    ),
+}

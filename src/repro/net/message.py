@@ -26,6 +26,7 @@ class MessageCategory(enum.Enum):
     PAGE_MAP = "page_map"
     HOLDER_LIST = "holder_list"
     UPDATE_PUSH = "update_push"  # eager pushes (RC extension)
+    GDO_MIGRATE = "gdo_migrate"  # directory-entry home handoff (migration)
     CONTROL = "control"
 
     @property

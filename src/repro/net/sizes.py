@@ -119,5 +119,16 @@ class SizeModel:
             self.object_data_entry(count) for count in byte_counts
         )
 
+    def migration_transfer(self, holder_entries: int,
+                           page_map_entries: int) -> int:
+        """Directory-entry handoff when an entry's home migrates: the
+        old home ships the full entry state — holder list plus page
+        map — to the new home, same payload shape as a grant."""
+        return (
+            self.header_bytes
+            + holder_entries * self.holder_entry_bytes
+            + page_map_entries * self.page_map_entry_bytes
+        )
+
     def control(self) -> int:
         return self.header_bytes + self.ack_bytes

@@ -131,6 +131,25 @@ class NetworkStats:
     def category_messages(self, category: MessageCategory) -> int:
         return self.by_category_messages.get(category, 0)
 
+    #: Categories that terminate at (or originate from) a directory
+    #: home node: lock traffic, forwarded requests racing a home move,
+    #: and entry handoffs.  Local calls never reach ``record``, so this
+    #: is by construction the *remote* directory traffic — the quantity
+    #: adaptive home migration exists to shrink.
+    DIRECTORY_CATEGORIES = (
+        MessageCategory.LOCK_REQUEST,
+        MessageCategory.LOCK_GRANT,
+        MessageCategory.LOCK_RELEASE,
+        MessageCategory.GDO_MIGRATE,
+    )
+
+    def directory_messages(self) -> int:
+        """Remote messages to/from GDO home nodes (incl. migration)."""
+        return sum(
+            self.by_category_messages.get(category, 0)
+            for category in self.DIRECTORY_CATEGORIES
+        )
+
     def node_imbalance(self) -> float:
         """Max/mean ratio of per-node sent+received bytes (1.0 = even)."""
         if not self.by_node:
@@ -152,6 +171,7 @@ class NetworkStats:
             "total_time": self.total_time,
             "total_attempts": self.total_attempts,
             "consistency_bytes": self.consistency_bytes(),
+            "directory_messages": self.directory_messages(),
             "node_imbalance": self.node_imbalance(),
             "by_attempts": {
                 str(attempts): count

@@ -16,8 +16,9 @@ is read at the end of the run by the exporters in
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, object], ...]
 
@@ -55,6 +56,34 @@ class Gauge:
 
     def dec(self, amount: float = 1) -> None:
         self.value -= amount
+
+
+def percentile_from_counts(bounds: Sequence[float], counts: Sequence[int],
+                           count: int, minimum: float, maximum: float,
+                           q: float) -> float:
+    """Percentile estimate from fixed-bucket counts.
+
+    ``counts`` holds one entry per bound plus a trailing overflow
+    bucket.  The estimate is the upper bound of the bucket containing
+    the target rank, clamped into ``[minimum, maximum]`` — so a
+    single-sample histogram returns the exact sample, an overflowing
+    rank returns the true maximum, and no estimate can leave the
+    observed range (the failure mode of a naive bucket walk on small
+    counts).  Shared by :meth:`Histogram.percentile` and the SLO
+    tables' snapshot-side computation (:mod:`repro.load.slo`).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be in [0, 1], got {q}")
+    if count <= 0:
+        return 0.0
+    # Rank of the q-th percentile, 1-based (nearest-rank definition).
+    target = max(1, math.ceil(q * count))
+    cumulative = 0
+    for bound, bucket_count in zip(bounds, counts):
+        cumulative += bucket_count
+        if cumulative >= target:
+            return min(max(bound, minimum), maximum)
+    return maximum  # rank falls in the overflow bucket
 
 
 @dataclass
@@ -106,6 +135,20 @@ class Histogram:
             mine + theirs
             for mine, theirs in zip(self.counts, other.counts)
         ]
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile estimate (``q`` in ``[0, 1]``).
+
+        Empty histograms report 0.0; a single sample reports itself
+        exactly (the clamp collapses every bucket bound onto it); any
+        rank past the tracked bounds reports the true maximum.  With
+        fewer than ``1/(1-q)`` samples the answer degenerates to the
+        maximum — the correct nearest-rank value, e.g. p999 of 10
+        samples is the largest one.
+        """
+        return percentile_from_counts(
+            self.buckets, self.counts, self.count, self.min, self.max, q
+        )
 
     def snapshot(self) -> Dict[str, object]:
         if not self.count:

@@ -145,6 +145,18 @@ class NullTracer:
     def gdo_forward(self, node, home_node, object_id):
         pass
 
+    def gdo_migrate(self, object_id, old_home, new_home):
+        pass
+
+    def gdo_request_forwarded(self, object_id, old_home, new_home):
+        pass
+
+    def gdo_request_latency(self, shard, seconds):
+        pass
+
+    def gdo_queue_depth(self, shard, delta):
+        pass
+
     def transfer_begin(self, node, object_id, cause, requested):
         return None
 
@@ -373,6 +385,38 @@ class Tracer(NullTracer):
             f"gdo.forward {object_id!r}", CAT_GDO, node=node,
             track="gdo", object=object_id, home=home_node,
         )
+
+    def gdo_migrate(self, object_id, old_home, new_home):
+        self.metrics.counter("gdo.migrations").inc()
+        self.instant(
+            f"gdo.migrate {object_id!r}", CAT_GDO, node=new_home,
+            track="gdo", object=object_id, old_home=old_home,
+            new_home=new_home,
+        )
+
+    def gdo_request_forwarded(self, object_id, old_home, new_home):
+        """A lock request (or release) raced a home move and took one
+        extra forwarding hop from the stale home to the new one."""
+        self.metrics.counter("gdo.request_forwards").inc()
+        self.instant(
+            f"gdo.request_forward {object_id!r}", CAT_GDO, node=old_home,
+            track="gdo", object=object_id, old_home=old_home,
+            new_home=new_home,
+        )
+
+    def gdo_request_latency(self, shard, seconds):
+        """Completed global acquisition, attributed to the home shard
+        that served it (the per-shard SLO tables' input)."""
+        self.metrics.histogram(
+            "gdo.request_latency_s", shard=shard.value
+        ).observe(seconds)
+
+    def gdo_queue_depth(self, shard, delta):
+        gauge = self.metrics.gauge("gdo.queue_depth", shard=shard.value)
+        if delta >= 0:
+            gauge.inc(delta)
+        else:
+            gauge.dec(-delta)
 
     # -- data transfer -----------------------------------------------------
 

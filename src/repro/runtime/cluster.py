@@ -10,6 +10,7 @@ from repro.faults.crash import CrashController
 from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.gdo.cache import EntryCacheTracker
 from repro.gdo.directory import Directory
+from repro.gdo.migration import HomeMigrationManager
 from repro.memory.store import NodeStore
 from repro.net.network import Network
 from repro.objects.registry import ObjectHandle, ObjectMeta, ObjectRegistry
@@ -105,10 +106,18 @@ class Cluster:
         self.registry = ObjectRegistry()
         self.directory = Directory(self.nodes, tracer=self.tracer)
         self.cache = EntryCacheTracker(enabled=config.gdo_cache_enabled)
+        self.migration: Optional[HomeMigrationManager] = None
+        if config.migration is not None and config.num_nodes > 1:
+            # On one node every entry is already home; tracking would
+            # only burn cycles without ever proposing a move.
+            self.migration = HomeMigrationManager(
+                config.migration, clock=lambda: self.env.now
+            )
         self.lockmgr = LockManager(
             self.env, self.network, self.directory, config.sizes, self.cache,
             allow_recursive_reads=config.allow_recursive_reads,
             tracer=self.tracer, injector=self.injector,
+            migration=self.migration,
         )
         def protocol_factory(name):
             return make_protocol(
@@ -327,6 +336,11 @@ class Cluster:
         return self.injector.stats
 
     @property
+    def migration_stats(self):
+        """Home-migration counters; ``None`` when migration is off."""
+        return self.migration.stats if self.migration is not None else None
+
+    @property
     def metrics(self):
         """The tracer's metrics registry; ``None`` when tracing is off."""
         return self.tracer.metrics
@@ -359,4 +373,8 @@ class Cluster:
                          if self.config.faults is not None else None),
                 **self.fault_stats.snapshot(),
             },
+            "migration": (
+                self.migration.stats.snapshot()
+                if self.migration is not None else None
+            ),
         }

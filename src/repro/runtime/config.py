@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.core.transfer import OBJECT_GRAIN, PAGE_GRAIN
 from repro.faults.plan import FaultPlan
+from repro.gdo.migration import MigrationConfig
 from repro.net.network import NetworkConfig
 from repro.net.presets import FAST_ETHERNET_100M
 from repro.net.sizes import SizeModel
@@ -80,6 +81,11 @@ class ClusterConfig:
             default — wires the no-op
             :class:`~repro.faults.injector.NullInjector`, which keeps
             runs byte-identical to a build without fault support.
+        migration: optional
+            :class:`~repro.gdo.migration.MigrationConfig` enabling
+            adaptive re-homing of hot GDO entries toward their
+            dominant accessor (DESIGN §11).  ``None`` — the default —
+            keeps the paper's static round-robin partition.
     """
 
     num_nodes: int = 4
@@ -102,6 +108,7 @@ class ClusterConfig:
     trace: bool = False
     tiebreak: str = "fifo"
     faults: Optional[FaultPlan] = None
+    migration: Optional[MigrationConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -150,6 +157,12 @@ class ClusterConfig:
                     f"{self.faults.max_crash_node_index} but the cluster "
                     f"has only {self.num_nodes} node(s)"
                 )
+        if self.migration is not None and not isinstance(
+            self.migration, MigrationConfig
+        ):
+            raise ConfigurationError(
+                f"migration must be a MigrationConfig, got {self.migration!r}"
+            )
         if self.sizes.page_bytes != self.page_size:
             # Keep the wire model and the layout engine in agreement.
             object.__setattr__(

@@ -81,7 +81,7 @@ class LockManager:
     def __init__(self, env, network: Network, directory: Directory,
                  sizes: SizeModel, cache: EntryCacheTracker,
                  allow_recursive_reads: bool = False, tracer=None,
-                 injector=None):
+                 injector=None, migration=None):
         self.env = env
         self.network = network
         self.directory = directory
@@ -90,6 +90,12 @@ class LockManager:
         self.allow_recursive_reads = allow_recursive_reads
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.injector = injector if injector is not None else NULL_INJECTOR
+        #: Optional :class:`~repro.gdo.migration.HomeMigrationManager`;
+        #: ``None`` keeps the static partition (and adds zero work).
+        self.migration = migration
+        # Entries with a home handoff currently on the wire; blocks a
+        # second concurrent migration of the same entry.
+        self._migrating: Set[ObjectId] = set()
         self.stats = LockStats()
         # At most one blocked transaction per (sequential) family.
         self._blocked: Dict[int, _BlockedFamily] = {}
@@ -154,13 +160,22 @@ class LockManager:
             # forwards such requests to GlobalLockAcquisition.
         # Algorithm 4.2: global processing at the entry's home node.
         self.stats.global_acquisitions += 1
-        self.tracer.gdo_forward(node, entry.home_node, object_id)
+        if self.migration is not None:
+            self.migration.record_access(object_id, node)
+        home = entry.home_node
+        request_started = self.env.now
+        self.tracer.gdo_forward(node, home, object_id)
         request = Message(
-            src=node, dst=entry.home_node,
+            src=node, dst=home,
             category=MessageCategory.LOCK_REQUEST,
             size_bytes=self.sizes.lock_request(), object_id=object_id,
         )
         yield self.network.send(request)
+        if entry.home_node != home:
+            # The entry's home migrated while our request was on the
+            # wire: the stale home forwards it (one extra hop).
+            yield from self._forward_request(object_id, home,
+                                             entry.home_node)
         family_already_present = entry.family_present(txn.id.root)
         decision = entry.decide(txn, mode, self.allow_recursive_reads)
         if decision is GrantDecision.RECURSIVE:
@@ -192,6 +207,9 @@ class LockManager:
             )
             yield self.network.send(grant)
             txn.lock_objects.add(object_id)
+            self.tracer.gdo_request_latency(
+                entry.home_node, self.env.now - request_started
+            )
             self.tracer.lock_granted(txn, object_id, mode, "global",
                                      info=entry.trace_info())
             self.directory.refresh_deadlock_edges(object_id)
@@ -201,6 +219,9 @@ class LockManager:
             return snapshot
         payload = yield from self._wait(
             entry, txn, mode, local=(decision is GrantDecision.WAIT_LOCAL)
+        )
+        self.tracer.gdo_request_latency(
+            entry.home_node, self.env.now - request_started
         )
         txn.lock_objects.add(object_id)
         return payload
@@ -222,12 +243,18 @@ class LockManager:
             raise NodeCrashError(txn.id, node=node)
         if entry.family_present(txn.id.root):
             return None  # already ours: nothing to pre-acquire
+        if self.migration is not None:
+            self.migration.record_access(object_id, node)
+        home = entry.home_node
         request = Message(
-            src=node, dst=entry.home_node,
+            src=node, dst=home,
             category=MessageCategory.LOCK_REQUEST,
             size_bytes=self.sizes.lock_request(), object_id=object_id,
         )
         yield self.network.send(request)
+        if entry.home_node != home:
+            yield from self._forward_request(object_id, home,
+                                             entry.home_node)
         if txn.id.root in self.dead_families:
             # The family's node crashed while the request was on the
             # wire; granting now would leak a lock nobody releases.
@@ -272,6 +299,21 @@ class LockManager:
         self._detect_deadlocks()
         return snapshot
 
+    def _forward_request(self, object_id: ObjectId, old_home: NodeId,
+                         new_home: NodeId):
+        """One extra hop for a request that raced a home migration: the
+        stale home still answers its old address and relays to the new
+        home (DESIGN §11's forwarding protocol)."""
+        if self.migration is not None:
+            self.migration.note_forwarded()
+        self.tracer.gdo_request_forwarded(object_id, old_home, new_home)
+        relay = Message(
+            src=old_home, dst=new_home,
+            category=MessageCategory.LOCK_REQUEST,
+            size_bytes=self.sizes.lock_request(), object_id=object_id,
+        )
+        yield self.network.send(relay)
+
     def _wait(self, entry: DirectoryEntry, txn: Transaction, mode: LockMode,
               local: bool):
         """Block until granted; raises DeadlockError if chosen as victim."""
@@ -303,6 +345,11 @@ class LockManager:
         token = self.tracer.lock_wait_begin(
             txn, entry.object_id, mode, "local" if local else "global"
         )
+        # Shard attribution is pinned at enqueue time: a migration
+        # mid-wait must not unbalance the inc/dec pair.
+        shard = entry.home_node
+        if not local:
+            self.tracer.gdo_queue_depth(shard, +1)
         timeout_s = self.injector.lock_wait_timeout_s()
         try:
             if timeout_s > 0:
@@ -314,6 +361,8 @@ class LockManager:
             self.tracer.lock_wait_end(token, ok=False)
             raise
         finally:
+            if not local:
+                self.tracer.gdo_queue_depth(shard, -1)
             self._blocked.pop(root, None)
         self.tracer.lock_wait_end(token, ok=True)
         self._record_grant(entry.object_id, txn, mode)
@@ -504,6 +553,28 @@ class LockManager:
             )
             sends.append(self.network.send(message))
         yield self.env.all_of(sends)
+        # Any object whose home migrated while the release was on the
+        # wire gets its share relayed by the stale home (one hop each).
+        forwards = []
+        for home, oids in sorted(by_home.items()):
+            for object_id in oids:
+                new_home = self.directory.entry(object_id).home_node
+                if new_home != home:
+                    if self.migration is not None:
+                        self.migration.note_forwarded()
+                    self.tracer.gdo_request_forwarded(object_id, home,
+                                                      new_home)
+                    relay = Message(
+                        src=home, dst=new_home,
+                        category=MessageCategory.LOCK_RELEASE,
+                        size_bytes=self.sizes.lock_release(
+                            len(dirty.get(object_id, ()))
+                        ),
+                        object_id=object_id,
+                    )
+                    forwards.append(self.network.send(relay))
+        if forwards:
+            yield self.env.all_of(forwards)
         for object_id in object_ids:
             entry = self.directory.entry(object_id)
             entry.apply_commit(
@@ -527,6 +598,64 @@ class LockManager:
             self._deliver_grants(entry, woken, roots_before)
             self.directory.refresh_deadlock_edges(object_id)
         self._detect_deadlocks()
+        if self.migration is not None:
+            # Detached: re-homing is the directory's own housekeeping.
+            # Running it inline would suspend the releasing family past
+            # the point where pumped waiters resume, letting a
+            # later-granted family commit (and trace its commit) before
+            # the releaser does — inverting commit order vs conflict
+            # order and breaking the serial-replay oracle.
+            self.env.process(
+                self._maybe_migrate(list(object_ids)),
+                name=f"gdo-migrate:{root_serial}",
+            )
+
+    def _maybe_migrate(self, object_ids: List[ObjectId]):
+        """Adaptive re-homing of freshly quiesced entries (DESIGN §11).
+
+        Spawned as a detached background process at the tail of a
+        global release, after grants were pumped: an entry is only
+        moved when it is fully quiescent — no holders, no retainers, no
+        queued waiters — so the move is pure accounting (no in-flight
+        grant ever references the old home) and correctness is
+        untouched.  The handoff message is charged and yielded; if
+        anything touched the entry while the handoff was on the wire,
+        the move is abandoned (the access counts survive, so it is
+        reconsidered at the next quiesce).
+        """
+        for object_id in object_ids:
+            entry = self.directory.entry(object_id)
+            if object_id in self._migrating:
+                continue
+            if not entry.is_free or entry.has_waiters():
+                continue
+            target = self.migration.pick_target(object_id, entry.home_node)
+            if target is None:
+                continue
+            old_home = entry.home_node
+            snapshot = entry.page_map_snapshot()
+            handoff = Message(
+                src=old_home, dst=target,
+                category=MessageCategory.GDO_MIGRATE,
+                size_bytes=self.sizes.migration_transfer(
+                    holder_entries=len(entry.holder_entries()),
+                    page_map_entries=len(snapshot),
+                ),
+                object_id=object_id,
+            )
+            self._migrating.add(object_id)
+            try:
+                yield self.network.send(handoff)
+            finally:
+                self._migrating.discard(object_id)
+            if not entry.is_free or entry.has_waiters():
+                continue  # a racing request got in first: stay put
+            self.directory.move_home(object_id, target)
+            # The quiescent entry has no holders, but a stale cached
+            # holder list at any site would now route Algorithm 4.1's
+            # fast path to the wrong home — drop it.
+            self.cache.on_freed(object_id)
+            self.migration.note_migrated(object_id)
 
     def _deliver_grants(self, entry: DirectoryEntry, woken: List[Waiter],
                         roots_before) -> None:

@@ -173,13 +173,20 @@ def _generate_plan(rng: SeededRNG, params: WorkloadParams,
                           obj_index=root_obj, depth=0, path={root_obj})
 
 
-def _pick_method(rng: SeededRNG, info: SyntheticClassInfo,
-                 update_fraction: float) -> str:
+def pick_method(rng: SeededRNG, info: SyntheticClassInfo,
+                update_fraction: float) -> str:
+    """Draw one method from a class's menu, biased toward updaters.
+
+    Public so alternative plan builders (:mod:`repro.load.engine`)
+    share the exact update/read mix semantics of the generator."""
     if info.update_methods and (
         not info.read_methods or rng.maybe(update_fraction)
     ):
         return rng.choice(info.update_methods)
     return rng.choice(info.read_methods)
+
+
+_pick_method = pick_method  # historic private name
 
 
 def _generate_node(rng: SeededRNG, params: WorkloadParams,

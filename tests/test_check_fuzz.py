@@ -111,6 +111,36 @@ class TestMinimizeAndRepro:
             assert fragment in command
 
 
+class TestMigrationFuzz:
+    """Adaptive home migration under the same oracles: the schedule
+    perturbations and fault presets that vet the base protocol must
+    also pass with entries moving between homes mid-run."""
+
+    def test_migration_campaign_is_clean(self):
+        result = run_campaign(seeds=2, protocols=("lotec",),
+                              policies=("random",), migration=True,
+                              **QUICK)
+        assert result.ok, [
+            line for failure in result.failures
+            for line in failure.report.failure_summary()
+        ]
+        assert result.tasks_run == 2
+
+    def test_migration_survives_crash_recover(self):
+        # The satellite's crash x migration combo: node crashes while
+        # entries are re-homing must not break any oracle.
+        report = run_task(FuzzTask(seed=0, policy="writer-first",
+                                   preset="crash-recover",
+                                   migration=True, **QUICK))
+        assert report.ok, report.failure_summary()
+        assert report.committed > 0
+
+    def test_migration_task_round_trips(self):
+        task = FuzzTask(seed=3, policy="random", migration=True, **QUICK)
+        assert "migration" in task.describe()
+        assert "--migration" in repro_command(task)
+
+
 class TestCampaign:
     def test_clean_campaign(self):
         result = run_campaign(seeds=2, protocols=("lotec",),

@@ -25,3 +25,19 @@ def test_preset_protocol_matrix_is_clean(preset, protocol):
         for line in failure.report.failure_summary()
     ]
     assert result.tasks_run == 5
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("preset", [None] + sorted(FAULT_PRESETS))
+def test_migration_preset_matrix_is_clean(preset):
+    # Adaptive home migration rides every fault preset: entries moving
+    # between homes mid-crash/mid-loss must stay invisible to the
+    # reference model and all four invariant checkers.
+    result = run_campaign(
+        seeds=5, presets=(preset,), migration=True,
+        scenario="medium-high", scale=0.25, nodes=4,
+    )
+    assert result.ok, [
+        line for failure in result.failures
+        for line in failure.report.failure_summary()
+    ]

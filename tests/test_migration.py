@@ -1,0 +1,194 @@
+"""Adaptive GDO home migration: the policy unit (decay, dominance,
+threshold, cooldown) and the end-to-end claim — on a skewed open-loop
+load, migration moves hot entries, cuts remote directory traffic, and
+leaves every correctness oracle untouched."""
+
+import pytest
+
+from repro import check_serializability
+from repro.gdo import HomeMigrationManager, MigrationConfig
+from repro.load import build_load, run_load
+from repro.runtime import Cluster, ClusterConfig
+from repro.util.errors import ConfigurationError
+from repro.util.ids import NodeId, ObjectId
+
+OBJ = ObjectId(0)
+HOME = NodeId(0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def manager(clock, **knobs):
+    defaults = dict(threshold=2.0, dominance=0.55, half_life_s=0.1,
+                    cooldown_s=0.001)
+    defaults.update(knobs)
+    return HomeMigrationManager(MigrationConfig(**defaults), clock=clock)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("knobs", [
+        dict(threshold=0.0),
+        dict(dominance=0.5),     # exactly half: two nodes could tie
+        dict(dominance=1.01),
+        dict(half_life_s=0.0),
+        dict(cooldown_s=-1.0),
+    ])
+    def test_bad_knobs_rejected(self, knobs):
+        with pytest.raises(ValueError):
+            MigrationConfig(**dict(
+                dict(threshold=2.0, dominance=0.55, half_life_s=0.1,
+                     cooldown_s=0.001), **knobs,
+            ))
+
+
+class TestPolicy:
+    def test_dominant_accessor_wins(self):
+        clock = FakeClock()
+        mgr = manager(clock)
+        for _ in range(5):
+            mgr.record_access(OBJ, NodeId(2))
+        mgr.record_access(OBJ, NodeId(1))
+        assert mgr.pick_target(OBJ, HOME) == NodeId(2)
+
+    def test_no_move_when_home_already_dominates(self):
+        clock = FakeClock()
+        mgr = manager(clock)
+        for _ in range(5):
+            mgr.record_access(OBJ, HOME)
+        assert mgr.pick_target(OBJ, HOME) is None
+
+    def test_threshold_gates_cold_entries(self):
+        clock = FakeClock()
+        mgr = manager(clock, threshold=3.0)
+        mgr.record_access(OBJ, NodeId(2))
+        mgr.record_access(OBJ, NodeId(2))
+        assert mgr.pick_target(OBJ, HOME) is None  # count 2 < 3
+        mgr.record_access(OBJ, NodeId(2))
+        assert mgr.pick_target(OBJ, HOME) == NodeId(2)
+
+    def test_dominance_gates_contested_entries(self):
+        clock = FakeClock()
+        mgr = manager(clock, dominance=0.75)
+        for _ in range(3):
+            mgr.record_access(OBJ, NodeId(1))
+        for _ in range(2):
+            mgr.record_access(OBJ, NodeId(2))
+        # NodeId(1) holds 60% < 75%: contested, stay put.
+        assert mgr.pick_target(OBJ, HOME) is None
+
+    def test_decay_halves_per_half_life(self):
+        clock = FakeClock()
+        mgr = manager(clock, half_life_s=0.1)
+        for _ in range(4):
+            mgr.record_access(OBJ, NodeId(2))
+        clock.now = 0.2  # two half-lives: 4 -> 1, below threshold 2
+        assert mgr.pick_target(OBJ, HOME) is None
+        tally = mgr._access[OBJ]
+        assert tally.counts[NodeId(2)] == pytest.approx(1.0)
+
+    def test_decay_evicts_vanished_nodes(self):
+        clock = FakeClock()
+        mgr = manager(clock, half_life_s=0.01)
+        mgr.record_access(OBJ, NodeId(3))
+        clock.now = 10.0  # 1000 half-lives: count underflows to zero
+        assert mgr.pick_target(OBJ, HOME) is None
+        assert NodeId(3) not in mgr._access[OBJ].counts
+
+    def test_cooldown_brakes_back_to_back_moves(self):
+        clock = FakeClock()
+        # Long half-life so decay cannot mask the cooldown's effect.
+        mgr = manager(clock, cooldown_s=0.5, half_life_s=100.0)
+        for _ in range(5):
+            mgr.record_access(OBJ, NodeId(2))
+        assert mgr.pick_target(OBJ, HOME) == NodeId(2)
+        mgr.note_migrated(OBJ)
+        for _ in range(5):
+            mgr.record_access(OBJ, NodeId(1))
+        clock.now = 0.4
+        assert mgr.pick_target(OBJ, NodeId(2)) is None  # cooling down
+        clock.now = 0.6
+        assert mgr.pick_target(OBJ, NodeId(2)) == NodeId(1)
+
+    def test_note_migrated_resets_the_window(self):
+        clock = FakeClock()
+        mgr = manager(clock, cooldown_s=0.0)
+        for _ in range(5):
+            mgr.record_access(OBJ, NodeId(2))
+        mgr.note_migrated(OBJ)
+        # Fresh window: old counts must not argue for a second move.
+        assert mgr.pick_target(OBJ, NodeId(2)) is None
+        assert mgr.stats.migrations == 1
+
+    def test_tie_breaks_by_node_id(self):
+        clock = FakeClock()
+        mgr = manager(clock, dominance=0.501, threshold=1.0)
+        # Exact tie between nodes 5 and 3; neither passes dominance,
+        # so first check the deterministic argmax directly.
+        for _ in range(4):
+            mgr.record_access(OBJ, NodeId(5))
+            mgr.record_access(OBJ, NodeId(3))
+        assert mgr.pick_target(OBJ, HOME) is None
+        mgr.record_access(OBJ, NodeId(5))
+        mgr.record_access(OBJ, NodeId(3))
+        mgr.record_access(OBJ, NodeId(3))
+        assert mgr.pick_target(OBJ, HOME) == NodeId(3)
+
+    def test_unknown_object_stays_put(self):
+        mgr = manager(FakeClock())
+        assert mgr.pick_target(ObjectId(99), HOME) is None
+
+
+def smoke_clusters(migration, seed=7, scale=0.5):
+    load = build_load("zipf-smoke", seed=seed, scale=scale)
+    cluster = Cluster(ClusterConfig(
+        num_nodes=load.scenario.clients, seed=seed, protocol="lotec",
+        trace=True, migration=migration,
+    ))
+    run = run_load(cluster, load)
+    return cluster, run
+
+
+class TestEndToEnd:
+    def test_migration_cuts_remote_directory_messages(self):
+        static, run_static = smoke_clusters(None)
+        adaptive, run_adaptive = smoke_clusters(MigrationConfig())
+        assert adaptive.migration_stats.migrations > 0
+        assert adaptive.network_stats.directory_messages() < \
+            static.network_stats.directory_messages()
+        # Identical offered load, identical outcomes.
+        assert run_adaptive.committed == run_static.committed
+        assert run_adaptive.failed == run_static.failed
+
+    def test_migrated_run_stays_serializable(self):
+        cluster, _ = smoke_clusters(MigrationConfig())
+        assert cluster.migration_stats.migrations > 0
+        report = check_serializability(cluster)
+        assert report.equivalent, (
+            report.state_mismatches[:3], report.result_mismatches[:3],
+        )
+
+    def test_forwarded_requests_are_charged(self):
+        # Forwarding only fires when a request races a home move; the
+        # accounting invariant must hold whether or not one occurred:
+        # every forward is one extra GDO hop, never a lost request.
+        cluster, run = smoke_clusters(MigrationConfig())
+        stats = cluster.migration_stats
+        assert stats.forwarded_requests >= 0
+        assert stats.considered >= stats.migrations
+        assert run.committed + run.failed == len(run.tickets)
+
+    def test_single_node_cluster_skips_migration(self):
+        load = build_load("zipf-smoke", seed=3, scale=0.1)
+        cluster = Cluster(ClusterConfig(
+            num_nodes=1, seed=3, protocol="lotec",
+            migration=MigrationConfig(),
+        ))
+        run_load(cluster, load)
+        assert cluster.migration is None
+        assert cluster.migration_stats is None

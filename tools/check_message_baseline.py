@@ -1,12 +1,21 @@
 #!/usr/bin/env python
-"""Guard the wire-message budget of the claims-messages benchmark.
+"""Guard the wire-message budgets of the claims benchmarks.
 
-Re-runs the ``claims-messages`` experiment at a pinned (seed, scale,
-scenario) point and compares the per-protocol ``PAGE_REQUEST`` counts
-— plus total message counts — against the committed baseline envelope
-in ``benchmarks/baselines/claims_messages.json``.  Any increase fails
-the build: transfer-pipeline changes (batching above all) may only
-hold or shrink the message budget, never silently grow it.
+Two gates, each against a committed baseline envelope re-measured at
+its own pinned (seed, scale, scenario) point:
+
+* ``claims-messages`` (``benchmarks/baselines/claims_messages.json``)
+  — per-protocol ``PAGE_REQUEST`` and total message counts.  Any
+  increase fails the build: transfer-pipeline changes (batching above
+  all) may only hold or shrink the message budget, never silently
+  grow it.
+* ``claims-locality`` (``benchmarks/baselines/claims_locality.json``)
+  — remote directory messages under static round-robin homes vs
+  adaptive GDO migration on the skewed open-loop load scenario.
+  Fails if either count grows past its baseline, or if migration's
+  reduction drops below the baseline's ``min_reduction`` floor
+  (the headline "migration cuts remote directory traffic by >= 30%"
+  claim).
 
 Usage:
     PYTHONPATH=src python tools/check_message_baseline.py
@@ -20,10 +29,13 @@ import json
 import os
 import sys
 
-BASELINE_PATH = os.path.join(
+_BASELINE_DIR = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "benchmarks", "baselines", "claims_messages.json",
+    "benchmarks", "baselines",
 )
+BASELINE_PATH = os.path.join(_BASELINE_DIR, "claims_messages.json")
+LOCALITY_BASELINE_PATH = os.path.join(_BASELINE_DIR,
+                                      "claims_locality.json")
 
 
 def measure(scenario: str, seed: int, num_nodes: int, scale: float):
@@ -44,32 +56,39 @@ def measure(scenario: str, seed: int, num_nodes: int, scale: float):
     return counts
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--update", action="store_true",
-                        help="rewrite the baseline from this run")
-    parser.add_argument("--scale", type=float,
-                        default=float(os.environ.get("REPRO_BENCH_SCALE",
-                                                     "0.1")))
-    args = parser.parse_args(argv)
+def measure_locality(scenario: str, seed: int, scale: float):
+    from repro.bench.experiments import plan_claims_locality
+    from repro.bench.parallel import ExperimentRunner
 
+    plan = plan_claims_locality(scenario, seed=seed, scale=scale)
+    measurements = ExperimentRunner().execute(plan.specs)
+    counts = {}
+    for spec, measurement in zip(plan.specs, measurements):
+        counts[spec.key] = {
+            "remote_directory_messages":
+                measurement["network"]["remote_directory_messages"],
+            "total_messages": measurement["network"]["total_messages"],
+        }
+    static = counts["static"]["remote_directory_messages"]
+    adaptive = counts["adaptive"]["remote_directory_messages"]
+    reduction = 0.0 if static <= 0 else (static - adaptive) / static
+    return counts, round(reduction, 4)
+
+
+def check_messages(update: bool) -> list:
     with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
     point = baseline["point"]
-    if args.scale != point["scale"]:
-        print(f"note: measuring at --scale {args.scale} but the baseline "
-              f"was recorded at scale {point['scale']}; comparing anyway "
-              "is meaningless, so the pinned scale is used.")
     counts = measure(point["scenario"], point["seed"], point["num_nodes"],
                      point["scale"])
 
-    if args.update:
+    if update:
         baseline["counts"] = counts
         with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
             json.dump(baseline, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"baseline updated: {BASELINE_PATH}")
-        return 0
+        return []
 
     failures = []
     for protocol, expected in sorted(baseline["counts"].items()):
@@ -86,14 +105,83 @@ def main(argv=None) -> int:
             else:
                 print(f"ok: {protocol}.{metric} = {got[metric]} "
                       f"(baseline {expected[metric]})")
+    return failures
+
+
+def check_locality(update: bool) -> list:
+    with open(LOCALITY_BASELINE_PATH, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    point = baseline["point"]
+    counts, reduction = measure_locality(point["scenario"], point["seed"],
+                                         point["scale"])
+
+    if update:
+        baseline["counts"] = counts
+        baseline["reduction"] = reduction
+        with open(LOCALITY_BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {LOCALITY_BASELINE_PATH}")
+        return []
+
+    failures = []
+    min_reduction = baseline["min_reduction"]
+    if reduction < min_reduction:
+        failures.append(
+            f"locality.reduction: {reduction} < required {min_reduction} "
+            "(migration no longer cuts remote directory traffic enough)"
+        )
+    else:
+        print(f"ok: locality.reduction = {reduction} "
+              f"(floor {min_reduction}, baseline {baseline['reduction']})")
+    for policy, expected in sorted(baseline["counts"].items()):
+        got = counts.get(policy)
+        if got is None:
+            failures.append(f"locality.{policy}: missing from measurement")
+            continue
+        for metric in ("remote_directory_messages", "total_messages"):
+            if got[metric] > expected[metric]:
+                failures.append(
+                    f"locality.{policy}.{metric}: {got[metric]} > baseline "
+                    f"{expected[metric]}"
+                )
+            else:
+                print(f"ok: locality.{policy}.{metric} = {got[metric]} "
+                      f"(baseline {expected[metric]})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baselines from this run")
+    parser.add_argument("--scale", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_SCALE",
+                                                     "0.1")))
+    parser.add_argument("--only", choices=["messages", "locality"],
+                        help="run a single gate instead of both")
+    args = parser.parse_args(argv)
+
+    if args.scale != 0.1:
+        print(f"note: --scale {args.scale} is ignored; each baseline is "
+              "measured at its own pinned scale (comparing across scales "
+              "is meaningless).")
+
+    failures = []
+    if args.only in (None, "messages"):
+        failures += check_messages(args.update)
+    if args.only in (None, "locality"):
+        failures += check_locality(args.update)
+
     if failures:
         print("message budget regression:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
-        print("If the increase is intentional, regenerate with "
+        print("If the change is intentional, regenerate with "
               "tools/check_message_baseline.py --update", file=sys.stderr)
         return 1
-    print("message budget within baseline envelope.")
+    if not args.update:
+        print("message budgets within baseline envelopes.")
     return 0
 
 
