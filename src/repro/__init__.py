@@ -24,10 +24,16 @@ Quick start::
     counter = cluster.create(Counter)
     cluster.call(counter, "add", 3)
     assert cluster.read_attr(counter, "value") == 3
+
+The same cluster can run over real localhost TCP sockets instead of
+the virtual clock — pass ``transport="tcp"`` (and optionally
+``transport_processes=True``) to :class:`ClusterConfig`; see
+:class:`Transport` / :class:`SimTransport` / :class:`TcpTransport`.
 """
 
 from repro.faults import FAULT_PRESETS, CrashEvent, FaultPlan
-from repro.net.network import NetworkConfig
+from repro.net import SimTransport, Transport
+from repro.net.network_config import NetworkConfig
 from repro.obs import MetricsRegistry, NullTracer, TraceEvent, Tracer
 from repro.net.presets import (
     ETHERNET_10M,
@@ -63,7 +69,7 @@ try:  # pragma: no cover - which branch runs depends on the install mode
 
     __version__ = _version("repro")
 except PackageNotFoundError:  # pragma: no cover
-    __version__ = "1.1.0"
+    __version__ = "1.2.0"
 
 # The experiment harness imports repro.__version__ (cache keys), so it
 # loads last.
@@ -107,8 +113,11 @@ __all__ = [
     "RecursiveInvocationError",
     "ReproError",
     "SOFTWARE_COSTS",
+    "SimTransport",
+    "TcpTransport",
     "TraceEvent",
     "Tracer",
+    "Transport",
     "TransactionAborted",
     "TxnTicket",
     "check_serializability",
@@ -124,3 +133,13 @@ __all__ = [
     "shared_class",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    # Lazy, mirroring repro.net: the TCP backend's asyncio/threading
+    # machinery loads only when the real-socket transport is requested.
+    if name == "TcpTransport":
+        from repro.net.tcp import TcpTransport
+
+        return TcpTransport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,6 +15,11 @@ Commands:
 * ``compare`` — run one workload scenario under all four protocols and
   print the side-by-side summary (same ``--format``/``--out`` surface
   as ``experiment``).
+* ``run <scenario>`` — run one scenario once on a chosen wire backend
+  (``--transport sim`` or ``--transport tcp``; ``--processes`` gives
+  each node a real OS relay process) and print the run summary; the
+  standard artifact flags apply, so ``--trace-dir`` + ``--check`` over
+  TCP is the end-to-end real-socket smoke test.
 * ``trace`` — run one scenario with the :mod:`repro.obs` tracer on and
   write the trace artifacts (JSONL event log + Chrome ``trace_event``
   JSON loadable in Perfetto / ``chrome://tracing``) plus a metrics
@@ -28,7 +33,7 @@ Commands:
   seeds x protocols x fault presets with perturbed same-instant event
   ordering, judge every run with the serializability oracles, the
   nested-O2PL reference model, and the trace invariant checkers, and
-  on failure print a minimized one-line repro command (``--out DIR``
+  on failure print a minimized one-line repro command (``--trace-dir``
   also dumps the failing trace as JSONL + a text report);
   ``--migration`` runs every task with adaptive GDO home migration
   enabled.
@@ -43,8 +48,12 @@ Commands:
 * ``list`` — show available experiment ids and scenarios.
 * ``version`` (or ``--version``) — print the package version.
 
-``--chart`` and ``--json PATH`` remain as deprecated aliases for
-``--format chart`` and ``--out PATH``.
+Artifact flags are uniform across the scenario-running subcommands
+(``run``/``trace``/``chaos``/``fuzz``/``load``): ``--out PATH`` writes
+the run's JSON envelope, ``--trace-dir DIR`` writes trace artifacts
+(JSONL event log with a clock header + Chrome trace), and ``--check``
+gates the exit code on the serializability oracle where the command
+does not already gate by design.
 """
 
 from __future__ import annotations
@@ -103,14 +112,36 @@ def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
         "--out", metavar="PATH",
         help="also write the result as versioned JSON",
     )
-    parser.add_argument(
-        "--chart", action="store_true",
-        help="(deprecated) same as --format chart",
+
+
+def _add_artifact_arguments(parser: argparse.ArgumentParser, *,
+                            out: bool = True, trace_dir: bool = True,
+                            check: bool = True,
+                            trace_dir_default: Optional[str] = None) -> None:
+    """The uniform artifact surface of every scenario-running command:
+    ``--out`` (JSON envelope), ``--trace-dir`` (JSONL + Chrome trace),
+    ``--check`` (serializability gate)."""
+    group = parser.add_argument_group(
+        "artifacts", "uniform output flags shared by run/trace/chaos/"
+                     "fuzz/load"
     )
-    parser.add_argument(
-        "--json", metavar="PATH",
-        help="(deprecated) same as --out PATH",
-    )
+    if out:
+        group.add_argument(
+            "--out", metavar="PATH",
+            help="write the run's JSON envelope to this file",
+        )
+    if trace_dir:
+        group.add_argument(
+            "--trace-dir", metavar="DIR", default=trace_dir_default,
+            help="write trace artifacts (JSONL event log + Chrome "
+                 "trace) to this directory",
+        )
+    if check:
+        group.add_argument(
+            "--check", action="store_true",
+            help="gate on the serializability oracle: exit nonzero if "
+                 "the run is not equivalent to a serial replay",
+        )
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -169,6 +200,23 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_run_arguments(cmp_parser, default_scale=0.5)
     _add_output_arguments(cmp_parser)
 
+    run = sub.add_parser(
+        "run",
+        help="run one scenario on a chosen wire backend (sim or real "
+             "localhost TCP)",
+    )
+    run.add_argument("scenario", choices=sorted(SCENARIOS))
+    _add_run_arguments(run, default_scale=0.25)
+    run.add_argument("--protocol", default="lotec",
+                     choices=("cotec", "otec", "lotec", "rc"))
+    run.add_argument("--transport", choices=("sim", "tcp"), default="sim",
+                     help="wire backend: virtual-clock simulation "
+                          "(default) or real localhost TCP sockets")
+    run.add_argument("--processes", action="store_true",
+                     help="with --transport tcp, give each node a real "
+                          "OS relay process instead of an asyncio task")
+    _add_artifact_arguments(run)
+
     trace = sub.add_parser(
         "trace", help="run a scenario with tracing on; write artifacts"
     )
@@ -176,8 +224,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_run_arguments(trace, default_scale=0.5)
     trace.add_argument("--protocol", default="lotec",
                        choices=("cotec", "otec", "lotec", "rc"))
-    trace.add_argument("--out", default="trace-out", metavar="DIR",
-                       help="directory for trace artifacts")
+    _add_artifact_arguments(trace, trace_dir_default="trace-out")
 
     chaos = sub.add_parser(
         "chaos",
@@ -189,9 +236,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_run_arguments(chaos, default_scale=0.25)
     chaos.add_argument("--protocol", default="lotec",
                        choices=("cotec", "otec", "lotec", "rc"))
-    chaos.add_argument("--out", metavar="DIR",
-                       help="also write trace artifacts (JSONL + Chrome "
-                            "trace) to this directory")
+    # chaos always gates on the oracle (that is its point), so the
+    # shared group contributes --out and --trace-dir only.
+    _add_artifact_arguments(chaos, check=False)
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -222,9 +269,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--scale", type=float, default=0.25,
                       help="workload size factor (1.0 = full)")
     fuzz.add_argument("--nodes", type=int, default=4)
-    fuzz.add_argument("--out", metavar="DIR",
-                      help="write failing-trace artifacts (JSONL + text "
-                           "report) to this directory")
+    # Every fuzz task already runs all oracles, so no --check; its
+    # --trace-dir collects *failing* traces.
+    _add_artifact_arguments(fuzz, check=False)
     fuzz.add_argument("--stop-on-failure", action="store_true",
                       help="stop the campaign at the first failing task")
     fuzz.add_argument("--no-minimize", action="store_true",
@@ -251,37 +298,15 @@ def _build_parser() -> argparse.ArgumentParser:
     load.add_argument("--no-migration", action="store_true",
                       help="static round-robin homes (no adaptive "
                            "migration)")
-    load.add_argument("--check", action="store_true",
-                      help="gate on the serializability oracle: exit "
-                           "nonzero if the run is not equivalent to a "
-                           "serial replay")
-    load.add_argument("--trace-dir", metavar="DIR",
-                      help="write trace artifacts (JSONL + Chrome trace) "
-                           "to this directory")
-    _add_output_arguments(load)
+    load.add_argument(
+        "--format", choices=OUTPUT_FORMATS, default=None,
+        help="stdout rendering: table (default), chart, or json",
+    )
+    _add_artifact_arguments(load)
 
     sub.add_parser("list", help="list experiment ids and scenarios")
     sub.add_parser("version", help="print the package version")
     return parser
-
-
-def _deprecation(message: str) -> None:
-    print(f"warning: {message}", file=sys.stderr)
-
-
-def _resolve_output(args) -> str:
-    """Fold the deprecated ``--chart``/``--json`` aliases into the
-    unified ``--format``/``--out`` pair, warning once per alias."""
-    output_format = args.format
-    if args.chart:
-        _deprecation("--chart is deprecated; use --format chart")
-        if output_format is None:
-            output_format = "chart"
-    if args.json:
-        _deprecation("--json PATH is deprecated; use --out PATH")
-        if args.out is None:
-            args.out = args.json
-    return output_format or "table"
 
 
 def _render(result: ExperimentResult, output_format: str) -> str:
@@ -306,8 +331,51 @@ def _make_runner(args) -> ExperimentRunner:
     return ExperimentRunner(jobs=args.jobs, cache=cache)
 
 
+def _write_json(payload, path: str) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def _write_trace_artifacts(cluster: Cluster, directory: str,
+                           base_name: str) -> Optional[int]:
+    """Write the uniform trace artifact pair (JSONL with a clock-domain
+    header, plus a Chrome trace); returns an exit code on error."""
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except (FileExistsError, NotADirectoryError):
+        print(f"error: --trace-dir {directory!r} exists and is not a "
+              f"directory", file=sys.stderr)
+        return 2
+    base = os.path.join(directory, base_name)
+    jsonl_path = f"{base}.jsonl"
+    chrome_path = f"{base}.chrome.json"
+    write_jsonl(cluster.trace_events, jsonl_path,
+                clock=cluster.tracer.clock_kind)
+    write_chrome_trace(cluster.trace_events, chrome_path)
+    print(f"\nwrote {jsonl_path}")
+    print(f"wrote {chrome_path} (load in Perfetto / chrome://tracing)")
+    return None
+
+
+def _check_gate(cluster: Cluster) -> int:
+    """Run the serializability oracle and report; 0 = clean."""
+    report = check_serializability(cluster)
+    if report.equivalent:
+        print(f"\nserializability: OK ({report.committed_roots} "
+              f"committed roots replay clean)")
+        return 0
+    print("\nserializability: FAILED", file=sys.stderr)
+    for line in report.state_mismatches + report.result_mismatches:
+        print(f"  {line}", file=sys.stderr)
+    return 1
+
+
 def _cmd_experiment(args) -> int:
-    output_format = _resolve_output(args)
+    output_format = args.format or "table"
     runner = _make_runner(args)
     result = runner.run(args.id, seed=args.seed, scale=args.scale,
                         num_nodes=args.nodes)
@@ -357,7 +425,7 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    output_format = _resolve_output(args)
+    output_format = args.format or "table"
     params = SCENARIOS[args.scenario].scaled(args.scale)
     workload = generate_workload(params, seed=args.seed)
     protocols = ("cotec", "otec", "lotec", "rc")
@@ -409,13 +477,43 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    params = SCENARIOS[args.scenario].scaled(args.scale)
+    workload = generate_workload(params, seed=args.seed)
+    with Cluster(ClusterConfig(
+        num_nodes=args.nodes, protocol=args.protocol, seed=args.seed,
+        audit_accesses=False, trace=bool(args.trace_dir),
+        transport=args.transport, transport_processes=args.processes,
+    )) as cluster:
+        run = run_workload(cluster, workload)
+        backend = args.transport + (
+            " (one OS process per node)" if args.processes else ""
+        )
+        print(f"scenario {args.scenario} under {args.protocol} over "
+              f"{backend} (seed {args.seed}, scale {args.scale}, "
+              f"{args.nodes} nodes): {run.committed} committed, "
+              f"{run.failed} failed")
+        stats = cluster.network_stats
+        print(f"network: {stats.total_messages} messages, "
+              f"{stats.total_bytes} bytes"
+              + (f", {len(cluster.network.delivered_log)} frames crossed "
+                 f"real sockets" if args.transport == "tcp" else ""))
+        if args.out:
+            _write_json(run.summary(), args.out)
+            print(f"\nwrote {args.out}")
+        if args.trace_dir:
+            error = _write_trace_artifacts(
+                cluster, args.trace_dir,
+                f"{args.scenario}-{args.protocol}-{args.transport}",
+            )
+            if error is not None:
+                return error
+        if args.check:
+            return _check_gate(cluster)
+        return 0
+
+
 def _cmd_trace(args) -> int:
-    try:
-        os.makedirs(args.out, exist_ok=True)
-    except (FileExistsError, NotADirectoryError):
-        print(f"error: --out {args.out!r} exists and is not a directory",
-              file=sys.stderr)
-        return 2
     params = SCENARIOS[args.scenario].scaled(args.scale)
     workload = generate_workload(params, seed=args.seed)
     cluster = Cluster(ClusterConfig(
@@ -423,17 +521,20 @@ def _cmd_trace(args) -> int:
         audit_accesses=False, trace=True,
     ))
     run = run_workload(cluster, workload)
-    base = os.path.join(args.out, f"{args.scenario}-{args.protocol}")
-    jsonl_path = f"{base}.jsonl"
-    chrome_path = f"{base}.chrome.json"
-    write_jsonl(cluster.trace_events, jsonl_path)
-    write_chrome_trace(cluster.trace_events, chrome_path)
     print(f"scenario {args.scenario} under {args.protocol} "
           f"(seed {args.seed}, scale {args.scale}, {args.nodes} nodes): "
           f"{run.committed} committed, {run.failed} failed\n")
     print(render_summary(cluster.tracer))
-    print(f"\nwrote {jsonl_path}")
-    print(f"wrote {chrome_path} (load in Perfetto / chrome://tracing)")
+    if args.out:
+        _write_json(run.summary(), args.out)
+        print(f"\nwrote {args.out}")
+    error = _write_trace_artifacts(
+        cluster, args.trace_dir, f"{args.scenario}-{args.protocol}"
+    )
+    if error is not None:
+        return error
+    if args.check:
+        return _check_gate(cluster)
     return 0
 
 
@@ -467,21 +568,15 @@ def _cmd_chaos(args) -> int:
         ],
     ))
     if args.out:
-        try:
-            os.makedirs(args.out, exist_ok=True)
-        except (FileExistsError, NotADirectoryError):
-            print(f"error: --out {args.out!r} exists and is not a "
-                  f"directory", file=sys.stderr)
-            return 2
-        base = os.path.join(
-            args.out, f"{args.scenario}-{args.protocol}-{args.preset}"
+        _write_json(run.summary(), args.out)
+        print(f"\nwrote {args.out}")
+    if args.trace_dir:
+        error = _write_trace_artifacts(
+            cluster, args.trace_dir,
+            f"{args.scenario}-{args.protocol}-{args.preset}",
         )
-        jsonl_path = f"{base}.jsonl"
-        chrome_path = f"{base}.chrome.json"
-        write_jsonl(cluster.trace_events, jsonl_path)
-        write_chrome_trace(cluster.trace_events, chrome_path)
-        print(f"\nwrote {jsonl_path}")
-        print(f"wrote {chrome_path} (load in Perfetto / chrome://tracing)")
+        if error is not None:
+            return error
     if report.equivalent:
         print(f"\nserializability: OK "
               f"({report.committed_roots} committed roots replay clean)")
@@ -536,13 +631,23 @@ def _cmd_fuzz(args) -> int:
         protocols=protocols, presets=presets, policies=policies,
         scenario=args.scenario, scale=args.scale, nodes=args.nodes,
         migration=args.migration,
-        mutate=tuple(_split_csv(args.mutate)), out_dir=args.out,
+        mutate=tuple(_split_csv(args.mutate)), out_dir=args.trace_dir,
         minimize_failures=not args.no_minimize,
         stop_on_failure=args.stop_on_failure,
         progress=None if args.quiet else progress,
     )
     print(f"\n{result.tasks_run} tasks, {result.committed} transactions "
           f"committed, {result.failed_txns} aborted")
+    if args.out:
+        _write_json({
+            "tasks_run": result.tasks_run,
+            "committed": result.committed,
+            "failed_txns": result.failed_txns,
+            "ok": result.ok,
+            "failures": [failure.report.task.describe()
+                         for failure in result.failures],
+        }, args.out)
+        print(f"wrote {args.out}")
     if result.ok:
         print("fuzz: all tasks clean (oracles, reference model, "
               "invariants)")
@@ -561,7 +666,7 @@ def _cmd_fuzz(args) -> int:
 
 
 def _cmd_load(args) -> int:
-    output_format = _resolve_output(args)
+    output_format = args.format or "table"
     load = build_load(args.scenario, seed=args.seed, scale=args.scale)
     scenario = load.scenario
     migration = None if args.no_migration else MigrationConfig()
@@ -603,31 +708,13 @@ def _cmd_load(args) -> int:
         _write_result(result, args.out)
         print(f"\nwrote {args.out}")
     if args.trace_dir:
-        try:
-            os.makedirs(args.trace_dir, exist_ok=True)
-        except (FileExistsError, NotADirectoryError):
-            print(f"error: --trace-dir {args.trace_dir!r} exists and is "
-                  f"not a directory", file=sys.stderr)
-            return 2
-        base = os.path.join(
-            args.trace_dir, f"{args.scenario}-{policy}"
+        error = _write_trace_artifacts(
+            cluster, args.trace_dir, f"{args.scenario}-{policy}"
         )
-        jsonl_path = f"{base}.jsonl"
-        chrome_path = f"{base}.chrome.json"
-        write_jsonl(cluster.trace_events, jsonl_path)
-        write_chrome_trace(cluster.trace_events, chrome_path)
-        print(f"\nwrote {jsonl_path}")
-        print(f"wrote {chrome_path} (load in Perfetto / chrome://tracing)")
+        if error is not None:
+            return error
     if args.check:
-        report = check_serializability(cluster)
-        if report.equivalent:
-            print(f"\nserializability: OK ({report.committed_roots} "
-                  f"committed roots replay clean)")
-        else:
-            print("\nserializability: FAILED", file=sys.stderr)
-            for line in report.state_mismatches + report.result_mismatches:
-                print(f"  {line}", file=sys.stderr)
-            return 1
+        return _check_gate(cluster)
     return 0
 
 
@@ -655,6 +742,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "bench": _cmd_bench,
         "compare": _cmd_compare,
+        "run": _cmd_run,
         "trace": _cmd_trace,
         "chaos": _cmd_chaos,
         "fuzz": _cmd_fuzz,

@@ -1,11 +1,14 @@
-"""Message model for the simulated network."""
+"""Message model and wire-frame codec, shared by every transport."""
 
 from __future__ import annotations
 
 import enum
+import json
+import struct
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
+from repro.util.errors import ProtocolError
 from repro.util.ids import NodeId, ObjectId
 
 
@@ -120,3 +123,130 @@ class Message:
         if self.object_id is None:
             return ()
         return ((self.object_id, self.size_bytes),)
+
+
+# ---------------------------------------------------------------------------
+# Wire-frame codec (the TCP transport's on-socket format)
+# ---------------------------------------------------------------------------
+#
+# A frame is a 4-byte big-endian length prefix followed by one JSON
+# object with sorted keys.  Message frames (``"t": "msg"``) carry the
+# full protocol-visible identity of a :class:`Message` — category,
+# endpoints, size, object attribution, manifest, wire id — plus a
+# ``pad`` filler sized so the frame occupies ``size_bytes`` bytes on
+# the socket whenever the metadata fits: the cost model's on-wire size
+# becomes the *actual* on-wire size.  Control frames (``"t": "hello"``
+# etc.) reuse the same envelope for transport bring-up traffic and are
+# never accounted.
+
+#: Bytes of the big-endian unsigned length prefix before every frame.
+FRAME_PREFIX_BYTES = 4
+_FRAME_PREFIX = struct.Struct(">I")
+
+#: Version stamped into every message frame; receivers reject others.
+FRAME_SCHEMA = 1
+
+#: Hard ceiling on one frame's body, far above any modeled message.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def pack_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialize one envelope: length prefix + sorted-key JSON body."""
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame body of {len(body)} bytes exceeds "
+                            f"the {MAX_FRAME_BYTES} byte frame limit")
+    return _FRAME_PREFIX.pack(len(body)) + body
+
+
+def unpack_frame(body: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`pack_frame` for one frame *body* (no prefix)."""
+    payload = json.loads(body.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame body is not an object: {payload!r}")
+    return payload
+
+
+def message_to_frame(message: Message, kind: str = "send") -> Dict[str, Any]:
+    """The JSON-primitive identity of a message, as one frame payload.
+
+    ``kind`` distinguishes the asynchronous ``send`` path (the receiver
+    must fire a delivery event) from the fire-and-forget ``charge``
+    path (accounting only).
+    """
+    frame: Dict[str, Any] = {
+        "t": "msg",
+        "v": FRAME_SCHEMA,
+        "kind": kind,
+        "src": message.src.value,
+        "dst": message.dst.value,
+        "category": message.category.value,
+        "size": message.size_bytes,
+        "wire": message.wire_id,
+        "attempt": message.attempts,
+    }
+    if message.object_id is not None:
+        frame["object"] = message.object_id.value
+    if message.manifest:
+        frame["manifest"] = [
+            [entry.object_id.value, list(entry.pages), entry.size_bytes]
+            for entry in message.manifest
+        ]
+    return frame
+
+
+def message_from_frame(frame: Dict[str, Any]) -> Message:
+    """Rebuild a :class:`Message` from a decoded message frame."""
+    if frame.get("t") != "msg":
+        raise ProtocolError(f"not a message frame: {frame.get('t')!r}")
+    if frame.get("v") != FRAME_SCHEMA:
+        raise ProtocolError(
+            f"frame schema {frame.get('v')!r} != {FRAME_SCHEMA}"
+        )
+    object_id = frame.get("object")
+    message = Message(
+        src=NodeId(frame["src"]),
+        dst=NodeId(frame["dst"]),
+        category=MessageCategory(frame["category"]),
+        size_bytes=frame["size"],
+        object_id=None if object_id is None else ObjectId(object_id),
+        manifest=tuple(
+            ManifestEntry(ObjectId(obj), tuple(pages), size)
+            for obj, pages, size in frame.get("manifest", ())
+        ),
+    )
+    message.wire_id = frame.get("wire")
+    message.attempts = frame.get("attempt", 0)
+    return message
+
+
+def encode_frame(message: Message, kind: str = "send") -> bytes:
+    """Encode a message as one padded wire frame (prefix included).
+
+    The ``pad`` filler stretches the frame to the message's modeled
+    ``size_bytes`` so the bytes crossing the socket match the cost
+    model; frames whose metadata alone exceeds the modeled size are
+    sent unpadded (the model's size still governs all accounting).
+    """
+    frame = message_to_frame(message, kind=kind)
+    bare = pack_frame(frame)
+    # `,"pad":""` costs 9 bytes of JSON before the filler itself.
+    shortfall = message.size_bytes - len(bare) - 9
+    if shortfall > 0:
+        frame["pad"] = "." * shortfall
+        return pack_frame(frame)
+    return bare
+
+
+def decode_frame(data: bytes) -> Message:
+    """Decode one complete frame (prefix included) into a message."""
+    if len(data) < FRAME_PREFIX_BYTES:
+        raise ProtocolError(f"truncated frame: {len(data)} bytes")
+    (length,) = _FRAME_PREFIX.unpack(data[:FRAME_PREFIX_BYTES])
+    body = data[FRAME_PREFIX_BYTES:]
+    if len(body) != length:
+        raise ProtocolError(
+            f"frame length prefix {length} != body length {len(body)}"
+        )
+    return message_from_frame(unpack_frame(body))

@@ -1,76 +1,22 @@
-"""Point-to-point switched network over the simulation clock."""
+"""The simulation transport: point-to-point switched network over the
+virtual clock — the default :class:`~repro.net.transport.Transport`."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.faults.injector import NULL_INJECTOR
 from repro.net.message import Message
+from repro.net.network_config import NetworkConfig
 from repro.net.stats import NetworkStats
+from repro.net.transport import Transport
 from repro.obs.tracer import NULL_TRACER
 from repro.sim import Environment, Event
-from repro.util.errors import ConfigurationError
+
+__all__ = ["NetworkConfig", "SimTransport", "Network"]
 
 
-@dataclass(frozen=True)
-class NetworkConfig:
-    """The two knobs the paper sweeps, plus wire propagation.
-
-    Attributes:
-        bandwidth_bps: link bandwidth in bits per second.
-        software_cost_s: fixed per-message software (protocol startup)
-            cost in seconds — the x-axis of Figures 6-8.
-        propagation_s: physical propagation delay; negligible on a
-            system-area network but kept explicit and configurable.
-        name: human-readable label used in reports.
-        multicast: the switch replicates frames to multiple receivers,
-            so one transmission reaches any number of destinations (§6
-            lists "multicast-capable networks" among the DSM
-            optimizations LOTEC should compose with).
-    """
-
-    bandwidth_bps: float
-    software_cost_s: float
-    propagation_s: float = 1e-6
-    name: str = ""
-    multicast: bool = False
-
-    def __post_init__(self) -> None:
-        if self.bandwidth_bps <= 0:
-            raise ConfigurationError("bandwidth_bps must be positive")
-        if self.software_cost_s < 0 or self.propagation_s < 0:
-            raise ConfigurationError("latencies must be non-negative")
-
-    def transfer_time(self, size_bytes: int) -> float:
-        """Time one message of ``size_bytes`` occupies: software startup
-        plus wire serialization plus propagation."""
-        return (
-            self.software_cost_s
-            + (size_bytes * 8.0) / self.bandwidth_bps
-            + self.propagation_s
-        )
-
-    def with_software_cost(self, software_cost_s: float) -> "NetworkConfig":
-        return NetworkConfig(
-            bandwidth_bps=self.bandwidth_bps,
-            software_cost_s=software_cost_s,
-            propagation_s=self.propagation_s,
-            name=self.name,
-            multicast=self.multicast,
-        )
-
-    def with_multicast(self, enabled: bool = True) -> "NetworkConfig":
-        return NetworkConfig(
-            bandwidth_bps=self.bandwidth_bps,
-            software_cost_s=self.software_cost_s,
-            propagation_s=self.propagation_s,
-            name=self.name,
-            multicast=enabled,
-        )
-
-
-class Network:
-    """Delivers messages between nodes and accounts for every one.
+class SimTransport(Transport):
+    """Delivers messages over the simulation clock and accounts for
+    every one.
 
     The target environment is a *switched* system-area network (the
     paper simulates "switched (i.e. no collisions)" Ethernet), so
@@ -221,42 +167,7 @@ class Network:
         self.stats.record_attempts(message)
         return total_delay + transfer_time
 
-    def charge_group(self, template: Message, destinations) -> float:
-        """Send the same payload to several destinations (eager pushes).
 
-        On a multicast-capable fabric one transmission reaches every
-        destination: the sender pays the software cost and serializes
-        the frame once.  Without multicast this degenerates to one
-        unicast charge per remote destination.  Returns the total
-        sender-side delay; local destinations are free as usual.
-        """
-        remote = [dst for dst in destinations if dst != template.src]
-        if not remote:
-            return 0.0
-        if self.config.multicast:
-            message = Message(
-                src=template.src, dst=remote[0],
-                category=template.category,
-                size_bytes=template.size_bytes,
-                object_id=template.object_id,
-            )
-            return self.charge(message)
-        total = 0.0
-        for dst in remote:
-            message = Message(
-                src=template.src, dst=dst,
-                category=template.category,
-                size_bytes=template.size_bytes,
-                object_id=template.object_id,
-            )
-            total += self.charge(message)
-        return total
-
-    def round_trip(self, request: Message, response_size: int,
-                   response_category=None) -> float:
-        """Estimated request/response latency (used by planners only)."""
-        category = response_category or request.category
-        del category  # size-based; category kept for future queueing models
-        return self.config.transfer_time(
-            request.size_bytes
-        ) + self.config.transfer_time(response_size)
+#: Backwards-compatible alias: ``Network`` was the pre-Transport name
+#: of the simulation backend and remains importable everywhere.
+Network = SimTransport

@@ -1,0 +1,67 @@
+"""The network cost model: the two knobs the paper sweeps, plus wire
+propagation.  Shared by every transport backend — the simulation uses
+it to compute delivery times, the TCP backend to size retransmission
+timeouts and report modeled wire occupancy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """The two knobs the paper sweeps, plus wire propagation.
+
+    Attributes:
+        bandwidth_bps: link bandwidth in bits per second.
+        software_cost_s: fixed per-message software (protocol startup)
+            cost in seconds — the x-axis of Figures 6-8.
+        propagation_s: physical propagation delay; negligible on a
+            system-area network but kept explicit and configurable.
+        name: human-readable label used in reports.
+        multicast: the switch replicates frames to multiple receivers,
+            so one transmission reaches any number of destinations (§6
+            lists "multicast-capable networks" among the DSM
+            optimizations LOTEC should compose with).
+    """
+
+    bandwidth_bps: float
+    software_cost_s: float
+    propagation_s: float = 1e-6
+    name: str = ""
+    multicast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth_bps must be positive")
+        if self.software_cost_s < 0 or self.propagation_s < 0:
+            raise ConfigurationError("latencies must be non-negative")
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Time one message of ``size_bytes`` occupies: software startup
+        plus wire serialization plus propagation."""
+        return (
+            self.software_cost_s
+            + (size_bytes * 8.0) / self.bandwidth_bps
+            + self.propagation_s
+        )
+
+    def with_software_cost(self, software_cost_s: float) -> "NetworkConfig":
+        return NetworkConfig(
+            bandwidth_bps=self.bandwidth_bps,
+            software_cost_s=software_cost_s,
+            propagation_s=self.propagation_s,
+            name=self.name,
+            multicast=self.multicast,
+        )
+
+    def with_multicast(self, enabled: bool = True) -> "NetworkConfig":
+        return NetworkConfig(
+            bandwidth_bps=self.bandwidth_bps,
+            software_cost_s=self.software_cost_s,
+            propagation_s=self.propagation_s,
+            name=self.name,
+            multicast=enabled,
+        )

@@ -1,0 +1,111 @@
+"""One cluster node's wire relay, as a real OS process.
+
+``python -m repro.net.tcp_node --node N --coordinator HOST:PORT`` is
+what :class:`~repro.net.tcp.TcpTransport` spawns per node in
+``processes`` mode.  The relay owns node ``N``'s network presence — its
+listening socket and its outbound peer connections — while all protocol
+state stays in the coordinator:
+
+1. bind a listening socket on an ephemeral port;
+2. dial the coordinator and send ``{"t": "hello", "node": N, "port": p}``;
+3. wait for the ``{"t": "peers", "ports": {...}}`` map;
+4. relay: message frames arriving on the uplink are forwarded to their
+   ``dst`` peer's socket; frames arriving from peers are forwarded up
+   the uplink; ``{"t": "shutdown"}`` exits.
+
+Frames are opaque to the relay beyond the routing fields, so every
+message crosses two real sockets (coordinator → src relay → dst relay)
+and node-to-node traffic is genuinely inter-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import Dict, Tuple
+
+from repro.net.tcp import read_envelope, write_envelope
+
+
+class NodeRelay:
+    def __init__(self, node: int, coordinator: Tuple[str, int]):
+        self.node = node
+        self.coordinator = coordinator
+        self.peer_ports: Dict[int, int] = {}
+        self._peer_writers: Dict[int, asyncio.StreamWriter] = {}
+        self._peer_locks: Dict[int, asyncio.Lock] = {}
+        self._uplink_writer: asyncio.StreamWriter = None
+        self._uplink_lock = asyncio.Lock()
+
+    async def run(self) -> None:
+        host = self.coordinator[0]
+        server = await asyncio.start_server(self._serve_peer, host, 0)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection(*self.coordinator)
+        self._uplink_writer = writer
+        await write_envelope(
+            writer, {"t": "hello", "node": self.node, "port": port}
+        )
+        try:
+            while True:
+                frame = await read_envelope(reader)
+                if frame is None or frame.get("t") == "shutdown":
+                    return
+                if frame.get("t") == "peers":
+                    self.peer_ports = {
+                        int(node): peer_port
+                        for node, peer_port in frame["ports"].items()
+                    }
+                elif frame.get("t") == "msg":
+                    await self._forward(frame)
+        finally:
+            server.close()
+            for peer in self._peer_writers.values():
+                peer.close()
+            writer.close()
+
+    async def _forward(self, frame: dict) -> None:
+        dst = frame["dst"]
+        lock = self._peer_locks.setdefault(dst, asyncio.Lock())
+        async with lock:
+            writer = self._peer_writers.get(dst)
+            if writer is None:
+                host = self.coordinator[0]
+                _reader, writer = await asyncio.open_connection(
+                    host, self.peer_ports[dst]
+                )
+                self._peer_writers[dst] = writer
+            await write_envelope(writer, frame)
+
+    async def _serve_peer(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                frame = await read_envelope(reader)
+                if frame is None:
+                    return
+                async with self._uplink_lock:
+                    await write_envelope(self._uplink_writer, frame)
+        except asyncio.CancelledError:
+            return  # relay shutdown cancels handlers mid-read; that's fine
+        finally:
+            writer.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.net.tcp_node",
+        description="wire relay for one cluster node (processes mode)",
+    )
+    parser.add_argument("--node", type=int, required=True)
+    parser.add_argument("--coordinator", required=True,
+                        metavar="HOST:PORT")
+    options = parser.parse_args(argv)
+    host, _, port = options.coordinator.rpartition(":")
+    relay = NodeRelay(options.node, (host, int(port)))
+    asyncio.run(relay.run())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,139 @@
+"""The Transport interface: the protocol-visible networking contract.
+
+Every consistency protocol, the lock manager, and the transfer engine
+talk to the network through exactly four operations — asynchronous
+:meth:`Transport.send`, synchronous :meth:`Transport.charge`, the
+multicast-aware :meth:`Transport.charge_group`, and the planner
+estimate :meth:`Transport.round_trip` — plus per-message accounting
+(:class:`~repro.net.stats.NetworkStats`) and fault semantics (fair-loss
+with bounded retransmission).  :class:`Transport` pins that contract
+down as an abstract base class so the *wire mechanics* become
+pluggable:
+
+* :class:`~repro.net.network.SimTransport` (the default) delivers over
+  the virtual clock of the discrete-event simulation, exactly as the
+  paper's cost model prescribes;
+* :class:`~repro.net.tcp.TcpTransport` delivers the same wire messages
+  as length-prefixed frames over real localhost TCP sockets, one
+  endpoint per cluster node (asyncio tasks, or real OS processes in
+  ``processes`` mode).
+
+``charge_group`` and ``round_trip`` are implemented here once in terms
+of :meth:`charge` and the config's cost model, so both backends share
+one multicast/unicast fan-out rule by construction.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.net.message import Message
+from repro.net.network_config import NetworkConfig
+from repro.net.stats import NetworkStats
+from repro.sim import Event
+from repro.util.ids import NodeId
+
+#: Clock domains a transport can stamp deliveries with.  ``"virtual"``
+#: is the DES clock of the simulation backend; ``"wall"`` is real
+#: elapsed time (the TCP backend).  Mirrored into the JSONL trace
+#: header so post-hoc checkers know what the timestamps mean.
+VIRTUAL_CLOCK = "virtual"
+WALL_CLOCK = "wall"
+
+
+class Transport(abc.ABC):
+    """Abstract wire: delivers messages between nodes, accounts each one.
+
+    Concrete transports must provide :meth:`send` and :meth:`charge`
+    and set ``env`` (the event engine deliveries are fired into),
+    ``config`` (:class:`~repro.net.network_config.NetworkConfig`),
+    ``stats`` (:class:`~repro.net.stats.NetworkStats`), ``tracer``, and
+    ``injector`` in their constructor.  The lifecycle hooks
+    (:meth:`start` / :meth:`close`) are no-ops by default — the
+    simulation backend has no sockets to bring up.
+    """
+
+    #: Which clock deliveries are stamped with (see module constants).
+    clock = VIRTUAL_CLOCK
+
+    env = None
+    config: NetworkConfig
+    stats: NetworkStats
+    tracer = None
+    injector = None
+
+    # -- wire operations ---------------------------------------------------
+
+    @abc.abstractmethod
+    def send(self, message: Message) -> Event:
+        """Send a message; returns an event firing at delivery time.
+
+        Local messages (``src == dst``) model calls into locally cached
+        state: they deliver immediately and are not accounted, matching
+        the paper's local/global split of lock processing (§4.1).
+        """
+
+    @abc.abstractmethod
+    def charge(self, message: Message) -> float:
+        """Account a message without creating a delivery event.
+
+        Used by synchronous paths (LOTEC demand fetches fired from
+        inside a running method body) where the *data* moves at once
+        and the *delay* is deferred to the transaction's next
+        suspension point; returns the transfer time to defer.
+        """
+
+    def charge_group(self, template: Message, destinations: Iterable[NodeId]
+                     ) -> float:
+        """Send the same payload to several destinations (eager pushes).
+
+        On a multicast-capable fabric one transmission reaches every
+        destination: the sender pays the software cost and serializes
+        the frame once.  Without multicast this degenerates to one
+        unicast charge per remote destination.  Returns the total
+        sender-side delay; local destinations are free as usual.
+        """
+        remote = [dst for dst in destinations if dst != template.src]
+        if not remote:
+            return 0.0
+        if self.config.multicast:
+            message = Message(
+                src=template.src, dst=remote[0],
+                category=template.category,
+                size_bytes=template.size_bytes,
+                object_id=template.object_id,
+            )
+            return self.charge(message)
+        total = 0.0
+        for dst in remote:
+            message = Message(
+                src=template.src, dst=dst,
+                category=template.category,
+                size_bytes=template.size_bytes,
+                object_id=template.object_id,
+            )
+            total += self.charge(message)
+        return total
+
+    def round_trip(self, request: Message, response_size: int) -> float:
+        """Estimated request/response latency (used by planners only).
+
+        A pure cost-model estimate on both backends — it never touches
+        the wire or the accounting, so planners can call it freely.
+        """
+        return self.config.transfer_time(
+            request.size_bytes
+        ) + self.config.transfer_time(response_size)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, nodes: Iterable[NodeId]) -> None:
+        """Bring the wire up for ``nodes`` (idempotent).
+
+        The simulation backend needs nothing; the TCP backend binds one
+        listening socket per node and connects the mesh.
+        """
+
+    def close(self) -> None:
+        """Tear the wire down (idempotent); no sends may follow."""

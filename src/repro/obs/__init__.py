@@ -11,7 +11,9 @@ from repro.obs.export import (
     chrome_trace,
     events_to_jsonl,
     read_jsonl,
+    read_jsonl_header,
     render_summary,
+    trace_header,
     write_chrome_trace,
     write_jsonl,
 )
@@ -41,8 +43,10 @@ __all__ = [
     "chrome_trace",
     "events_to_jsonl",
     "read_jsonl",
+    "read_jsonl_header",
     "render_summary",
     "sanitize",
+    "trace_header",
     "write_chrome_trace",
     "write_jsonl",
 ]

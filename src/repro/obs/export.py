@@ -29,6 +29,21 @@ CLUSTER_PID = 0
 # JSONL
 # ---------------------------------------------------------------------------
 
+#: Key of the optional first-line header object of a JSONL trace.
+TRACE_HEADER_KEY = "trace_header"
+
+#: Version of the JSONL trace layout (events are versioned separately
+#: by their own fields; this covers the file-level framing).
+TRACE_SCHEMA = 1
+
+
+def trace_header(clock: str = "virtual") -> Dict[str, object]:
+    """The file header recording what domain timestamps live in:
+    ``"virtual"`` (simulation seconds) or ``"wall"`` (real elapsed
+    seconds, traces collected over the TCP transport)."""
+    return {"schema": TRACE_SCHEMA, "clock": clock}
+
+
 def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
     """Serialize events, one JSON object per line."""
     return "".join(
@@ -36,20 +51,46 @@ def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
     )
 
 
-def write_jsonl(events: Iterable[TraceEvent], path) -> None:
+def write_jsonl(events: Iterable[TraceEvent], path, clock=None) -> None:
+    """Write a JSONL trace; with ``clock`` set, a ``trace_header``
+    first line records the clock domain (event lines are unchanged, so
+    header-unaware consumers that skip unknown shapes still work)."""
     with open(path, "w") as handle:
+        if clock is not None:
+            handle.write(json.dumps(
+                {TRACE_HEADER_KEY: trace_header(clock)}, sort_keys=True
+            ) + "\n")
         handle.write(events_to_jsonl(events))
 
 
 def read_jsonl(path) -> List[TraceEvent]:
-    """Inverse of :func:`write_jsonl`: reload the exact event objects."""
+    """Inverse of :func:`write_jsonl`: reload the exact event objects
+    (the optional header line is skipped; see :func:`read_jsonl_header`)."""
     events = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(TraceEvent(**json.loads(line)))
+            if not line:
+                continue
+            record = json.loads(line)
+            if TRACE_HEADER_KEY in record:
+                continue
+            events.append(TraceEvent(**record))
     return events
+
+
+def read_jsonl_header(path) -> Dict[str, object]:
+    """The trace's header object; legacy headerless files (and any
+    pre-header consumers' output) read as a virtual-clock trace."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            header = record.get(TRACE_HEADER_KEY)
+            return header if header is not None else trace_header("virtual")
+    return trace_header("virtual")
 
 
 # ---------------------------------------------------------------------------

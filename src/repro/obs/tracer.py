@@ -95,6 +95,7 @@ class NullTracer:
     #: overrides both with real per-instance state.
     events: tuple = ()
     metrics = None
+    clock_kind = "virtual"
 
     # -- generic recording -------------------------------------------------
 
@@ -238,17 +239,23 @@ NULL_TRACER = NullTracer()
 
 
 class Tracer(NullTracer):
-    """Recording tracer bound to a virtual clock.
+    """Recording tracer bound to a clock.
 
-    ``clock`` is any zero-argument callable returning the current
-    simulated time in seconds (typically ``lambda: env.now``).
+    ``clock`` is any zero-argument callable returning the current time
+    in seconds (typically ``lambda: env.now``).  ``clock_kind`` names
+    the clock domain the timestamps live in — ``"virtual"`` (the DES
+    clock, the default) or ``"wall"`` (real elapsed seconds, used with
+    the TCP transport) — and is stamped into the JSONL trace header so
+    post-hoc checkers know what ``ts`` means.
     """
 
     enabled = True
 
     def __init__(self, clock: Callable[[], float],
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 clock_kind: str = "virtual"):
         self._clock = clock
+        self.clock_kind = clock_kind
         self.events: List[TraceEvent] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._open: Dict[int, TraceEvent] = {}

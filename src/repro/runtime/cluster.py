@@ -81,12 +81,20 @@ class Cluster:
                 "pass either a ClusterConfig or keyword overrides, not both"
             )
         self.config = config
-        self.env = Environment(
-            tiebreak=make_tiebreak(config.tiebreak, config.seed,
-                                   config.num_nodes)
-        )
+        tiebreak = make_tiebreak(config.tiebreak, config.seed,
+                                 config.num_nodes)
+        if config.transport == "tcp":
+            from repro.sim.realtime import WallClockEnvironment
+
+            self.env = WallClockEnvironment(tiebreak=tiebreak)
+        else:
+            self.env = Environment(tiebreak=tiebreak)
         self.tracer = (
-            Tracer(clock=lambda: self.env.now) if config.trace else NULL_TRACER
+            Tracer(
+                clock=lambda: self.env.now,
+                clock_kind="wall" if config.transport == "tcp" else "virtual",
+            )
+            if config.trace else NULL_TRACER
         )
         self.env.tracer = self.tracer
         self.rng = SeededRNG(config.seed)
@@ -98,8 +106,18 @@ class Cluster:
             FaultInjector(config.faults, self.rng.derive("faults"))
             if config.faults is not None else NULL_INJECTOR
         )
-        self.network = Network(self.env, config.network, tracer=self.tracer,
-                               injector=self.injector)
+        if config.transport == "tcp":
+            from repro.net.tcp import TcpTransport
+
+            self.network = TcpTransport(
+                self.env, config.network, tracer=self.tracer,
+                injector=self.injector,
+                processes=config.transport_processes,
+            )
+        else:
+            self.network = Network(self.env, config.network,
+                                   tracer=self.tracer,
+                                   injector=self.injector)
         self.stores: Dict[NodeId, NodeStore] = {
             node: NodeStore(node) for node in self.nodes
         }
@@ -245,8 +263,28 @@ class Cluster:
         return ticket
 
     def run(self, until: Optional[float] = None) -> float:
-        """Advance the simulation until idle (or ``until``)."""
+        """Advance the cluster until idle (or ``until``).
+
+        Brings the transport up on first use (the simulation backend's
+        ``start`` is a no-op; the TCP backend binds its sockets here,
+        so constructing a Cluster stays cheap and side-effect free).
+        """
+        self.network.start(self.nodes)
         return self.env.run(until)
+
+    def close(self) -> None:
+        """Release transport resources (idempotent).
+
+        Required after TCP runs — sockets, the background loop thread,
+        and any relay processes are torn down here; a no-op for the
+        simulation backend."""
+        self.network.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def call(self, handle: ObjectHandle, method_name: str, *args,
              node: Optional[NodeId] = None):

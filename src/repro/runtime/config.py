@@ -86,6 +86,14 @@ class ClusterConfig:
             adaptive re-homing of hot GDO entries toward their
             dominant accessor (DESIGN §11).  ``None`` — the default —
             keeps the paper's static round-robin partition.
+        transport: the wire backend — ``"sim"`` (the default) delivers
+            messages over the virtual clock via
+            :class:`~repro.net.network.SimTransport`; ``"tcp"`` runs
+            the cluster against real localhost TCP sockets
+            (:class:`~repro.net.tcp.TcpTransport`) on a wall-clock
+            environment, one endpoint per node (DESIGN §12).
+        transport_processes: with ``transport="tcp"``, give each node a
+            real OS relay process instead of an asyncio task.
     """
 
     num_nodes: int = 4
@@ -109,8 +117,18 @@ class ClusterConfig:
     tiebreak: str = "fifo"
     faults: Optional[FaultPlan] = None
     migration: Optional[MigrationConfig] = None
+    transport: str = "sim"
+    transport_processes: bool = False
 
     def __post_init__(self) -> None:
+        if self.transport not in ("sim", "tcp"):
+            raise ConfigurationError(
+                f"transport must be 'sim' or 'tcp', got {self.transport!r}"
+            )
+        if self.transport_processes and self.transport != "tcp":
+            raise ConfigurationError(
+                "transport_processes requires transport='tcp'"
+            )
         if self.num_nodes < 1:
             raise ConfigurationError("num_nodes must be at least 1")
         if self.page_size < 64:

@@ -48,9 +48,13 @@ def replay_serially(cluster: Cluster,
         # would perturb (or, with crash events, outright reject) the
         # single-node replay.  tiebreak="fifo" likewise: the replay is
         # the reference, so it must not inherit a perturbed schedule.
+        # transport="sim" always: the oracle is a deterministic
+        # single-node re-execution, so real sockets would add nothing
+        # but wall-clock time and nondeterminism.
         config = replace(
             cluster.config, num_nodes=1, scheduler="round_robin",
             audit_accesses=False, faults=None, tiebreak="fifo",
+            transport="sim", transport_processes=False,
         )
     serial = Cluster(config)
     for record in cluster.creation_log:

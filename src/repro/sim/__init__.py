@@ -23,4 +23,23 @@ from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.engine import Environment
 from repro.sim.process import Process
 
-__all__ = ["Environment", "Event", "Timeout", "AllOf", "AnyOf", "Process"]
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "WallClockEnvironment",
+]
+
+
+def __getattr__(name):
+    # Imported lazily: repro.sim.realtime depends on repro.util.errors
+    # only, but keeping it out of the hot import path preserves the
+    # kernel's zero-cost import for the common virtual-clock case.
+    if name == "WallClockEnvironment":
+        from repro.sim.realtime import WallClockEnvironment
+
+        return WallClockEnvironment
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

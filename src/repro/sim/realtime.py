@@ -1,0 +1,153 @@
+"""A wall-clock twin of :class:`~repro.sim.engine.Environment`.
+
+The simulation engine's contract — processes yield events, timeouts
+fire after a delay, same-instant ties are re-ranked by a policy — is
+kept intact, but time is *real*: ``now`` is seconds of wall clock since
+the first :meth:`WallClockEnvironment.run` call, timeouts sleep, and
+external sources (the TCP transport's socket readers, which live on
+another thread) inject deliveries through a thread-safe inbox that
+wakes the run loop immediately.
+
+The scheduling loop is the textbook real-time DES pattern: take the
+earliest pending event; if its due time is still in the future, sleep
+until then *or* until an external delivery arrives, whichever is
+first; then process.  Causality is therefore preserved exactly as in
+the virtual-clock engine, while delivery instants come from the
+operating system instead of the cost model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import time
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Environment
+from repro.util.errors import ConfigurationError, ProtocolError
+
+
+class WallClockEnvironment(Environment):
+    """Event engine whose clock is real elapsed time.
+
+    ``stall_timeout_s`` bounds how long the run loop will wait for an
+    external source (a transport with frames in flight) that produces
+    nothing — a hung socket then surfaces as a
+    :class:`~repro.util.errors.ProtocolError` instead of a silent hang.
+    """
+
+    def __init__(self, tracer=None, tiebreak=None,
+                 stall_timeout_s: float = 30.0):
+        super().__init__(0.0, tracer=tracer, tiebreak=tiebreak)
+        if stall_timeout_s <= 0:
+            raise ConfigurationError("stall_timeout_s must be positive")
+        self.stall_timeout_s = stall_timeout_s
+        self._inbox: "queue.Queue[Callable[[], None]]" = queue.Queue()
+        self._sources: List = []
+        self._start_wall: Optional[float] = None
+
+    # -- external sources --------------------------------------------------
+
+    def attach_source(self, source) -> None:
+        """Register an external event source (``source.pending()`` must
+        return the number of in-flight items the loop should wait for)."""
+        self._sources.append(source)
+
+    def call_threadsafe(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` on the engine thread at the current wall instant.
+
+        The only safe way for another thread (the transport's socket
+        loop) to touch engine state: ``fn`` typically succeeds a
+        delivery event.  Wakes the run loop if it is sleeping.
+        """
+        self._inbox.put(fn)
+
+    def _pending_external(self) -> int:
+        return sum(source.pending() for source in self._sources)
+
+    # -- clock -------------------------------------------------------------
+
+    def _elapsed(self) -> float:
+        if self._start_wall is None:
+            return self._now
+        return time.monotonic() - self._start_wall
+
+    def _advance(self, at_least: float = 0.0) -> None:
+        """Move the clock to wall time (monotone, never backwards)."""
+        self._now = max(self._now, at_least, self._elapsed())
+
+    # -- run loop ----------------------------------------------------------
+
+    def _drain_inbox(self) -> bool:
+        """Run every queued external callback; True if any ran."""
+        ran = False
+        while True:
+            try:
+                fn = self._inbox.get_nowait()
+            except queue.Empty:
+                return ran
+            self._advance()
+            fn()
+            ran = True
+
+    def _wait_inbox(self, timeout: float) -> bool:
+        """Sleep until an external callback arrives (run it, True) or
+        ``timeout`` elapses (False)."""
+        try:
+            fn = self._inbox.get(timeout=max(0.0, timeout))
+        except queue.Empty:
+            return False
+        self._advance()
+        fn()
+        self._drain_inbox()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (and no frames are in flight) or
+        the wall clock passes ``until`` seconds since the first run."""
+        if self._start_wall is None:
+            self._start_wall = time.monotonic() - self._now
+        if until is not None and until < self._now:
+            raise ConfigurationError(
+                f"run(until={until}) is before current time {self._now}"
+            )
+        token = self.tracer.begin("sim.run", "sim", until=until)
+        processed_before = self._events_processed
+        try:
+            while True:
+                self._drain_inbox()
+                if until is not None and self._elapsed() >= until:
+                    self._advance(until)
+                    break
+                if not self._queue:
+                    if self._pending_external() == 0:
+                        break
+                    # Frames in flight but nothing runnable: wait for
+                    # the transport, bounded so a dead socket loop
+                    # cannot hang the run forever.
+                    if not self._wait_inbox(self.stall_timeout_s):
+                        raise ProtocolError(
+                            f"transport stalled: "
+                            f"{self._pending_external()} message(s) in "
+                            f"flight but none arrived within "
+                            f"{self.stall_timeout_s}s"
+                        )
+                    continue
+                target = self._queue[0][0]
+                wall = self._elapsed()
+                if target > wall:
+                    timeout = target - wall
+                    if until is not None:
+                        timeout = min(timeout, until - wall)
+                    if self._wait_inbox(timeout):
+                        continue  # new work may precede the head event
+                when, _rank, _seq, event = heapq.heappop(self._queue)
+                self._advance(when)
+                self._events_processed += 1
+                event._process()
+            self._advance()
+            return self._now
+        finally:
+            self.tracer.end(
+                token, events=self._events_processed - processed_before
+            )

@@ -185,7 +185,7 @@ class TestFuzzCli:
         code = main(["fuzz", "--seeds", "1", "--protocols", "lotec",
                      "--policies", "random", "--scale", "0.125",
                      "--mutate", MUTATION, "--no-minimize", "--quiet",
-                     "--out", str(tmp_path)])
+                     "--trace-dir", str(tmp_path)])
         assert code == 1
         err = capsys.readouterr().err
         assert "repro: repro fuzz --seeds 1" in err

@@ -35,15 +35,14 @@ class TestExperiment:
         assert data["x_label"] == "metric"
         assert set(data["series"]["messages"]) == {"cotec", "otec", "lotec"}
 
-    def test_deprecated_json_alias_still_writes(self, tmp_path, capsys):
-        target = tmp_path / "result.json"
-        code = main(["experiment", "msg-count", "--no-cache",
-                     "--scale", "0.1", "--seed", "2", "--json", str(target)])
-        assert code == 0
-        err = capsys.readouterr().err
-        assert "--json" in err and "deprecated" in err
-        data = json.loads(target.read_text())
-        assert set(data["series"]["messages"]) == {"cotec", "otec", "lotec"}
+    def test_removed_json_alias_rejected(self, tmp_path):
+        # --json PATH was a deprecated alias for --out PATH; it was
+        # removed in 1.2.0 and must now be an argparse error.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "msg-count", "--no-cache",
+                  "--scale", "0.1", "--seed", "2",
+                  "--json", str(tmp_path / "result.json")])
+        assert excinfo.value.code == 2
 
     def test_cache_round_trip(self, tmp_path, capsys):
         argv = ["experiment", "abl-gdocache", "--scale", "0.1",
@@ -105,7 +104,7 @@ class TestVersion:
             from importlib.metadata import version
             expected = version("repro")
         except Exception:
-            expected = "1.1.0"  # source-tree fallback
+            expected = "1.2.0"  # source-tree fallback
         assert repro.__version__ == expected
 
 
@@ -114,7 +113,7 @@ class TestTrace:
         out_dir = tmp_path / "artifacts"
         code = main(["trace", "medium-high", "--scale", "0.08",
                      "--seed", "2", "--nodes", "3",
-                     "--out", str(out_dir)])
+                     "--trace-dir", str(out_dir)])
         assert code == 0
         out = capsys.readouterr().out
         assert "total bytes" in out
@@ -130,10 +129,14 @@ class TestTrace:
         for record in doc["traceEvents"]:
             assert {"name", "ph", "pid", "tid"} <= set(record)
 
-        # The JSONL log holds one JSON object per line.
+        # The JSONL log holds one JSON object per line, led by the
+        # clock-domain header (virtual clock: the sim transport).
         lines = [line for line in jsonl.read_text().splitlines() if line]
         assert lines
         assert all(isinstance(json.loads(line), dict) for line in lines)
+        assert json.loads(lines[0]) == {
+            "trace_header": {"schema": 1, "clock": "virtual"}
+        }
 
     def test_trace_summary_matches_network_stats(self, tmp_path, capsys):
         from repro.runtime.cluster import Cluster
@@ -144,7 +147,7 @@ class TestTrace:
 
         code = main(["trace", "medium-high", "--scale", "0.08",
                      "--seed", "2", "--nodes", "3",
-                     "--out", str(tmp_path / "run")])
+                     "--trace-dir", str(tmp_path / "run")])
         assert code == 0
         out = capsys.readouterr().out
 
@@ -182,21 +185,14 @@ class TestOutputFormats:
         assert data["schema"] == 1
         assert "series" in data
 
-    def test_deprecated_chart_alias(self, capsys):
-        code = main(["experiment", "abl-gdocache", "--no-cache",
-                     "--scale", "0.08", "--seed", "2", "--nodes", "3",
-                     "--chart"])
-        assert code == 0
-        captured = capsys.readouterr()
-        assert "|" in captured.out and "#" in captured.out
-        assert "--chart" in captured.err and "deprecated" in captured.err
-
-    def test_explicit_format_wins_over_alias(self, capsys):
-        code = main(["experiment", "abl-gdocache", "--no-cache",
-                     "--scale", "0.08", "--seed", "2", "--nodes", "3",
-                     "--format", "json", "--chart"])
-        assert code == 0
-        json.loads(capsys.readouterr().out)
+    def test_removed_chart_alias_rejected(self):
+        # --chart was a deprecated alias for --format chart; removed
+        # in 1.2.0.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "abl-gdocache", "--no-cache",
+                  "--scale", "0.08", "--seed", "2", "--nodes", "3",
+                  "--chart"])
+        assert excinfo.value.code == 2
 
     def test_compare_writes_json(self, tmp_path, capsys):
         target = tmp_path / "compare.json"
@@ -248,7 +244,7 @@ class TestChaos:
     def test_chaos_runs_and_gates_on_serializability(self, tmp_path, capsys):
         out_dir = tmp_path / "chaos"
         code = main(["chaos", "lossy-net", "--scale", "0.1",
-                     "--seed", "5", "--out", str(out_dir)])
+                     "--seed", "5", "--trace-dir", str(out_dir)])
         assert code == 0
         out = capsys.readouterr().out
         assert "serializability: OK" in out
@@ -260,7 +256,7 @@ class TestChaos:
         assert jsonl.exists() and chrome.exists()
         lines = [line for line in jsonl.read_text().splitlines() if line]
         assert any(
-            json.loads(line)["category"] == "fault" for line in lines
+            json.loads(line).get("category") == "fault" for line in lines
         )
 
     def test_chaos_without_out_writes_nothing(self, tmp_path, capsys,

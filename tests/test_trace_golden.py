@@ -1,0 +1,59 @@
+"""Golden-digest regression: the Transport refactor is byte-invisible.
+
+These SHA-256 digests were captured from the pre-refactor ``Network``
+on the standard scenario and verified unchanged after ``SimTransport``
+replaced it.  Any future change that perturbs the simulation
+backend's event schedule, accounting order, or trace serialization —
+however subtly — flips the digest and fails here, pointing straight
+at a behavioural (not just cosmetic) divergence.
+
+The digests cover the *JSONL event body only* (no clock header), so
+they are independent of the trace-file framing.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.obs.export import events_to_jsonl
+from repro.runtime.cluster import Cluster
+from repro.runtime.config import ClusterConfig
+from repro.workload.generator import generate_workload
+from repro.workload.params import SCENARIOS
+from repro.workload.runner import run_workload
+
+# (scale, seed) -> (sha256 of events_to_jsonl, event count, commits)
+GOLDENS = {
+    (0.1, 11): (
+        "7786886c52dca73f88753422fc2d88550c3d9415635c5edee8d964ba427e9ccf",
+        632, 12,
+    ),
+    (0.25, 2): (
+        "abed2ed75dffca53dc031cca23a0c69f7ddbec4cddce3002fbf84d765861206c",
+        3116, 30,
+    ),
+}
+
+
+def run_digest(scale, seed):
+    params = SCENARIOS["medium-high"].scaled(scale)
+    workload = generate_workload(params, seed=seed)
+    cluster = Cluster(ClusterConfig(
+        num_nodes=4, protocol="lotec", seed=seed,
+        audit_accesses=False, trace=True,
+    ))
+    run = run_workload(cluster, workload)
+    jsonl = events_to_jsonl(cluster.tracer.events)
+    digest = hashlib.sha256(jsonl.encode("utf-8")).hexdigest()
+    return digest, len(cluster.tracer.events), run.committed
+
+
+def test_small_scale_trace_digest_is_golden():
+    scale_seed = (0.1, 11)
+    assert run_digest(*scale_seed) == GOLDENS[scale_seed]
+
+
+@pytest.mark.slow
+def test_medium_scale_trace_digest_is_golden():
+    scale_seed = (0.25, 2)
+    assert run_digest(*scale_seed) == GOLDENS[scale_seed]
