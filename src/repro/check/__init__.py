@@ -8,7 +8,8 @@ Four pieces, layered on the :mod:`repro.obs` trace stream and the
   re-judges every grant in a trace against independently coded rules;
 * :mod:`repro.check.invariants` — standalone trace invariant checkers
   (single-writer/multi-reader, retained-locks-only-to-descendants,
-  page-version monotonicity, commit-order consistency);
+  page-version monotonicity, commit-order consistency, and heal-aware
+  liveness);
 * :mod:`repro.check.explorer` — one seed, one reproducible perturbed
   schedule: :class:`FuzzTask` / :func:`run_task` / :func:`minimize`;
 * :mod:`repro.check.fuzz` — campaigns over seeds x protocols x fault
@@ -34,6 +35,7 @@ from repro.check.fuzz import (
 )
 from repro.check.invariants import (
     check_commit_order,
+    check_liveness,
     check_page_version_monotonic,
     check_retained_descendants,
     check_single_writer,
@@ -52,6 +54,7 @@ __all__ = [
     "TxnRef",
     "Violation",
     "check_commit_order",
+    "check_liveness",
     "check_page_version_monotonic",
     "check_reference_model",
     "check_retained_descendants",

@@ -142,8 +142,14 @@ def run_task(task: FuzzTask, keep_trace: bool = False) -> FuzzReport:
     except ReproError as exc:
         # The workload runner tolerates transaction aborts; anything
         # escaping it is a protocol-level failure the fuzzer caught.
+        # A run that ends with families still in flight (the liveness
+        # failure mode: quiescence with untriggered processes) lands
+        # here too — so the invariant checkers still get to judge the
+        # partial trace.  The state oracles are skipped: the cluster is
+        # not in a judgeable end state.
         report.error = f"{type(exc).__name__}: {exc}"
         report.trace = event_dicts(cluster.trace_events)
+        report.violations.extend(run_invariants(report.trace))
         return report
     events = event_dicts(cluster.trace_events)
     if keep_trace:

@@ -17,7 +17,13 @@ re-implementations of the paper's rules to slip through:
   already seen means a stale page map);
 * :func:`check_commit_order` — conflicting grant order must agree with
   root commit order (strictness: under strict O2PL the earlier
-  conflicting accessor commits first).
+  conflicting accessor commits first);
+* :func:`check_liveness` — every started family eventually commits or
+  aborts, *provided the trace's faults all healed*: a crash without a
+  recovery or a partition without a heal excuses stuck families
+  (progress is not required of a half-broken cluster), which is why
+  the checker must be heal-aware rather than simply demanding
+  termination.
 """
 
 from __future__ import annotations
@@ -266,6 +272,68 @@ def check_commit_order(events) -> List[Violation]:
     return violations
 
 
+def check_liveness(events) -> List[Violation]:
+    """Every started family terminates once all faults heal.
+
+    Families are identified by the ``txn.start`` instant their root
+    emits at begin time (spans are only recorded at their *end*, so an
+    interrupted family leaves no span — the instant is the only
+    start-of-family evidence).  Termination is the root's commit/abort
+    span or a ``fault.crash_abort``.
+
+    Heal-awareness is the whole point: a family stuck behind a node
+    that never recovered, or a partition that never healed, is the
+    *expected* behaviour of a fail-stop system, not a protocol bug.
+    Only when every crash has its recovery and every partition its
+    heal does an unterminated family become a violation — that is
+    exactly the signature of a ghost holder resurrected from a stale
+    durable record (the ``skip-rejoin-invalidation`` mutation).
+    """
+    events = event_dicts(events)
+    violations: List[Violation] = []
+    started: Dict[int, Tuple[int, float]] = {}
+    terminated: set = set()
+    down_nodes: Dict[int, int] = {}  # node -> open crash windows
+    open_partitions = 0
+    for index, event in enumerate(events):
+        name = event.get("name", "")
+        args = event.get("args", {})
+        if name.startswith("txn.start "):
+            root = args.get("root")
+            if root is not None and root not in started:
+                started[root] = (index, event.get("ts", 0.0))
+        elif event.get("category") == "txn" and event.get("phase") == "X":
+            txn = parse_txn(args["txn"])
+            if txn.is_root:
+                terminated.add(txn.root)
+        elif name.startswith("fault.crash_abort"):
+            terminated.add(args.get("root"))
+        elif name.startswith("fault.node_crash"):
+            node = args.get("crashed_node")
+            down_nodes[node] = down_nodes.get(node, 0) + 1
+        elif name.startswith("fault.node_recover"):
+            node = args.get("recovered_node")
+            down_nodes[node] = down_nodes.get(node, 0) - 1
+        elif name.startswith("fault.partition_heal"):
+            open_partitions -= 1
+        elif name.startswith("fault.partition "):
+            open_partitions += 1
+    unhealed = open_partitions > 0 or any(
+        count > 0 for count in down_nodes.values()
+    )
+    if unhealed:
+        return violations  # stuck families are excused mid-outage
+    for root, (index, ts) in sorted(started.items()):
+        if root in terminated:
+            continue
+        violations.append(Violation(
+            "invariant.liveness", index, ts,
+            f"family {root} started but never committed or aborted, "
+            f"with every planned fault healed by trace end",
+        ))
+    return violations
+
+
 def run_invariants(events) -> List[Violation]:
     """Run every invariant checker; violations in checker order."""
     events = event_dicts(events)
@@ -274,4 +342,5 @@ def run_invariants(events) -> List[Violation]:
     violations.extend(check_retained_descendants(events))
     violations.extend(check_page_version_monotonic(events))
     violations.extend(check_commit_order(events))
+    violations.extend(check_liveness(events))
     return violations

@@ -25,10 +25,13 @@ Commands:
   JSON loadable in Perfetto / ``chrome://tracing``) plus a metrics
   summary.
 * ``chaos <preset>`` — run one scenario under a named fault preset
-  (message loss, duplication, delay jitter, node crash/recovery, lock
-  timeouts — see :data:`repro.faults.FAULT_PRESETS`), print the fault
-  and retry accounting, and gate on the serializability oracle: exit
-  nonzero if the faulted run is not equivalent to a serial replay.
+  (message loss, duplication, delay jitter, node crash/recovery with
+  durable-record rejoin and GDO home failover, partitions, slow nodes,
+  lock timeouts — see :data:`repro.faults.FAULT_PRESETS`), print the
+  fault and retry accounting, and gate the exit code on the
+  serializability oracle *and* every trace invariant checker
+  (including heal-aware liveness); ``--transport tcp`` runs the same
+  preset over real localhost sockets.
 * ``fuzz`` — schedule-exploration fuzzing (:mod:`repro.check`): run N
   seeds x protocols x fault presets with perturbed same-instant event
   ordering, judge every run with the serializability oracles, the
@@ -36,7 +39,8 @@ Commands:
   on failure print a minimized one-line repro command (``--trace-dir``
   also dumps the failing trace as JSONL + a text report);
   ``--migration`` runs every task with adaptive GDO home migration
-  enabled.
+  enabled, and ``--recovery`` adds the crash/partition/failover
+  presets to the preset axis.
 * ``load <scenario>`` — run one open-loop load scenario
   (:mod:`repro.load`: Zipf popularity, per-client locality, Poisson or
   bursty arrivals) on a one-node-per-client cluster with adaptive GDO
@@ -73,7 +77,12 @@ from repro.bench import (
     format_bench_summary,
     format_table,
 )
-from repro.check import ALL_PROTOCOLS, DEFAULT_POLICIES, run_campaign
+from repro.check import (
+    ALL_PROTOCOLS,
+    DEFAULT_POLICIES,
+    run_campaign,
+    run_invariants,
+)
 from repro.faults import FAULT_PRESETS
 from repro.gdo.migration import MigrationConfig
 from repro.load import LOAD_SCENARIOS, build_load, run_load, shard_slo_series
@@ -236,8 +245,16 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_run_arguments(chaos, default_scale=0.25)
     chaos.add_argument("--protocol", default="lotec",
                        choices=("cotec", "otec", "lotec", "rc"))
-    # chaos always gates on the oracle (that is its point), so the
-    # shared group contributes --out and --trace-dir only.
+    chaos.add_argument("--transport", choices=("sim", "tcp"),
+                       default="sim",
+                       help="wire backend: virtual-clock simulation "
+                            "(default) or real localhost TCP sockets")
+    chaos.add_argument("--processes", action="store_true",
+                       help="with --transport tcp, give each node a real "
+                            "OS relay process instead of an asyncio task")
+    # chaos always gates on the oracle and the invariant checkers
+    # (that is its point), so the shared group contributes --out and
+    # --trace-dir only.
     _add_artifact_arguments(chaos, check=False)
 
     fuzz = sub.add_parser(
@@ -286,6 +303,10 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--migration", action="store_true",
                       help="enable adaptive GDO home migration in "
                            "every task")
+    fuzz.add_argument("--recovery", action="store_true",
+                      help="add the crash-recovery presets "
+                           "(crash-failover, partition, crash-partition, "
+                           "slow-node) to the preset axis")
 
     load = sub.add_parser(
         "load",
@@ -542,49 +563,74 @@ def _cmd_chaos(args) -> int:
     plan = FAULT_PRESETS[args.preset]
     params = SCENARIOS[args.scenario].scaled(args.scale)
     workload = generate_workload(params, seed=args.seed)
-    cluster = Cluster(ClusterConfig(
+    with Cluster(ClusterConfig(
         num_nodes=args.nodes, protocol=args.protocol, seed=args.seed,
         audit_accesses=False, trace=True, faults=plan,
-    ))
-    run = run_workload(cluster, workload)
-    report = check_serializability(cluster)
-    stats = cluster.fault_stats
-    print(f"preset {args.preset} on scenario {args.scenario} under "
-          f"{args.protocol} (seed {args.seed}, scale {args.scale}, "
-          f"{args.nodes} nodes): {run.committed} committed, "
-          f"{run.failed} failed\n")
-    print(format_table(
-        ["fault counter", "value"],
-        [
-            ["messages dropped", stats.messages_dropped],
-            ["retransmissions", stats.retransmissions],
-            ["messages duplicated", stats.messages_duplicated],
-            ["delay injected (us)", round(stats.delay_injected_s * 1e6)],
-            ["lock timeouts", stats.lock_timeouts],
-            ["crashes / recoveries",
-             f"{stats.crashes} / {stats.recoveries}"],
-            ["crash-aborted families", stats.crash_aborted_families],
-            ["deadlock retries", cluster.txn_stats.retries],
-        ],
-    ))
-    if args.out:
-        _write_json(run.summary(), args.out)
-        print(f"\nwrote {args.out}")
-    if args.trace_dir:
-        error = _write_trace_artifacts(
-            cluster, args.trace_dir,
-            f"{args.scenario}-{args.protocol}-{args.preset}",
-        )
-        if error is not None:
-            return error
-    if report.equivalent:
-        print(f"\nserializability: OK "
-              f"({report.committed_roots} committed roots replay clean)")
-        return 0
-    print("\nserializability: FAILED", file=sys.stderr)
-    for line in report.state_mismatches + report.result_mismatches:
-        print(f"  {line}", file=sys.stderr)
-    return 1
+        transport=args.transport, transport_processes=args.processes,
+    )) as cluster:
+        run = run_workload(cluster, workload)
+        report = check_serializability(cluster)
+        violations = run_invariants(cluster.trace_events)
+        stats = cluster.fault_stats
+        migration_stats = cluster.migration_stats
+        print(f"preset {args.preset} on scenario {args.scenario} under "
+              f"{args.protocol} over {args.transport} (seed {args.seed}, "
+              f"scale {args.scale}, {args.nodes} nodes): "
+              f"{run.committed} committed, {run.failed} failed\n")
+        print(format_table(
+            ["fault counter", "value"],
+            [
+                ["messages dropped", stats.messages_dropped],
+                ["dropped at a partition", stats.partition_dropped],
+                ["retransmissions", stats.retransmissions],
+                ["messages duplicated", stats.messages_duplicated],
+                ["delay injected (us)", round(stats.delay_injected_s * 1e6)],
+                ["slow-node delay (us)", round(stats.slow_delay_s * 1e6)],
+                ["lock timeouts", stats.lock_timeouts],
+                ["crashes / recoveries",
+                 f"{stats.crashes} / {stats.recoveries}"],
+                ["crash-aborted families", stats.crash_aborted_families],
+                ["GDO home failovers", stats.failovers],
+                ["failover reroutes", stats.failover_reroutes],
+                ["rejoin replayed / reclaimed / discarded",
+                 f"{stats.rejoin_replayed_records} / "
+                 f"{stats.rejoin_reclaimed_homes} / "
+                 f"{stats.rejoin_discarded_holders}"],
+                ["forwarded requests",
+                 migration_stats.forwarded_requests
+                 if migration_stats is not None else 0],
+                ["deadlock retries", cluster.txn_stats.retries],
+            ],
+        ))
+        if args.out:
+            _write_json(run.summary(), args.out)
+            print(f"\nwrote {args.out}")
+        if args.trace_dir:
+            error = _write_trace_artifacts(
+                cluster, args.trace_dir,
+                f"{args.scenario}-{args.protocol}-{args.preset}",
+            )
+            if error is not None:
+                return error
+        failed = False
+        if report.equivalent:
+            print(f"\nserializability: OK "
+                  f"({report.committed_roots} committed roots replay clean)")
+        else:
+            failed = True
+            print("\nserializability: FAILED", file=sys.stderr)
+            for line in report.state_mismatches + report.result_mismatches:
+                print(f"  {line}", file=sys.stderr)
+        if violations:
+            failed = True
+            print(f"invariants: {len(violations)} violation(s)",
+                  file=sys.stderr)
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+        else:
+            print("invariants: OK (single-writer, retained-descendants, "
+                  "page-version, commit-order, liveness)")
+        return 1 if failed else 0
 
 
 def _split_csv(spec: str) -> list:
@@ -610,6 +656,11 @@ def _cmd_fuzz(args) -> int:
                       f"{', '.join(sorted(FAULT_PRESETS))}",
                       file=sys.stderr)
                 return 2
+    if args.recovery:
+        recovery_presets = ["crash-failover", "partition",
+                            "crash-partition", "slow-node"]
+        presets.extend(name for name in recovery_presets
+                       if name not in presets)
     policies = _split_csv(args.policies)
     if not (protocols and presets and policies):
         print("error: --protocols, --presets, and --policies must each "

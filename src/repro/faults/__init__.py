@@ -10,10 +10,17 @@ pass".  Three fault classes are modelled:
   timeouts with retransmission (:mod:`repro.net.network`);
 * **node crash/recovery** — scheduled fail-stop windows that abort
   in-flight transaction families, reclaim their GDO entries, and
-  invalidate holder-list caches (:mod:`repro.faults.crash`);
+  invalidate holder-list caches (:mod:`repro.faults.crash`); each node
+  keeps a durable record (:mod:`repro.faults.wal`) replayed on rejoin,
+  and a crashed GDO home's entries fail over to a deterministic
+  successor (:mod:`repro.faults.recovery`);
+* **partitions and slow nodes** — node-set bipartitions with heal
+  times (cross-cut messages are lost until the heal) and degraded
+  nodes paying a fixed per-message service-latency surcharge;
 * **lock-wait timeouts** — bounded waits that escalate to
   abort-and-retry with capped, seeded exponential backoff
-  (:mod:`repro.txn.locks` / :mod:`repro.runtime.executor`).
+  (:mod:`repro.util.backoff`, shared by the executor retry loop, the
+  network retransmission timers, and the failover reroute path).
 
 Everything derives from one :class:`FaultPlan` plus the cluster seed:
 the same seed and plan produce the identical fault schedule and the
@@ -30,17 +37,33 @@ from repro.faults.injector import (
     MessageFaults,
     NullInjector,
 )
-from repro.faults.plan import FAULT_PRESETS, CrashEvent, FaultPlan
+from repro.faults.plan import (
+    FAULT_PRESETS,
+    CrashEvent,
+    FaultPlan,
+    PartitionEvent,
+    SlowNodeEvent,
+)
+from repro.faults.recovery import SKIP_REJOIN_INVALIDATION, RecoveryManager
+from repro.faults.wal import NULL_WAL, NodeWal, NullWalSet, WalSet
 
 __all__ = [
     "FAULT_PRESETS",
     "NO_FAULTS",
     "NULL_INJECTOR",
+    "NULL_WAL",
+    "SKIP_REJOIN_INVALIDATION",
     "CrashController",
     "CrashEvent",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",
     "MessageFaults",
+    "NodeWal",
     "NullInjector",
+    "NullWalSet",
+    "PartitionEvent",
+    "RecoveryManager",
+    "SlowNodeEvent",
+    "WalSet",
 ]

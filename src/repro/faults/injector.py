@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.faults.plan import FaultPlan
+from repro.util.backoff import backoff_delay
 from repro.util.rng import SeededRNG
 
 __all__ = [
@@ -46,6 +47,13 @@ class FaultStats:
     crashes: int = 0
     recoveries: int = 0
     crash_aborted_families: int = 0
+    partition_dropped: int = 0
+    slow_delay_s: float = 0.0
+    failovers: int = 0
+    failover_reroutes: int = 0
+    rejoin_replayed_records: int = 0
+    rejoin_reclaimed_homes: int = 0
+    rejoin_discarded_holders: int = 0
 
     def snapshot(self) -> Dict[str, float]:
         return {
@@ -57,6 +65,13 @@ class FaultStats:
             "crashes": self.crashes,
             "recoveries": self.recoveries,
             "crash_aborted_families": self.crash_aborted_families,
+            "partition_dropped": self.partition_dropped,
+            "slow_delay_s": self.slow_delay_s,
+            "failovers": self.failovers,
+            "failover_reroutes": self.failover_reroutes,
+            "rejoin_replayed_records": self.rejoin_replayed_records,
+            "rejoin_reclaimed_homes": self.rejoin_reclaimed_homes,
+            "rejoin_discarded_holders": self.rejoin_discarded_holders,
         }
 
 
@@ -92,13 +107,22 @@ class NullInjector:
     def lock_wait_timeout_s(self) -> float:
         return 0.0
 
-    def retransmit_timeout_s(self) -> float:
+    def retransmit_timeout_s(self, attempt: int = 0) -> float:
+        return 0.0
+
+    def failover_detect_s(self) -> float:
         return 0.0
 
     def is_down(self, node, now) -> bool:
         return False
 
     def down_until(self, node, now) -> float:
+        return 0.0
+
+    def cut(self, src, dst, now) -> bool:
+        return False
+
+    def partition_until(self, src, dst, now) -> float:
         return 0.0
 
 
@@ -128,6 +152,17 @@ class FaultInjector(NullInjector):
                 (crash.at_s, crash.up_at_s))
         for windows in self._down.values():
             windows.sort()
+        # Partition windows are equally static: (start, end, group_a).
+        self._cuts: List[Tuple[float, float, frozenset]] = sorted(
+            (cut.at_s, cut.heal_at_s, frozenset(cut.group_a))
+            for cut in plan.partitions
+        )
+        self._slow: Dict[int, List[Tuple[float, float, float]]] = {}
+        for slow in plan.slow_nodes:
+            self._slow.setdefault(slow.node_index, []).append(
+                (slow.at_s, slow.until_s, slow.per_message_s))
+        for windows in self._slow.values():
+            windows.sort()
 
     # -- crash windows -----------------------------------------------------
 
@@ -139,6 +174,27 @@ class FaultInjector(NullInjector):
         for start, end in self._down.get(node.value, ()):
             if start <= now < end:
                 return end
+        return 0.0
+
+    # -- partition and slow-node windows -----------------------------------
+
+    def cut(self, src, dst, now) -> bool:
+        return self.partition_until(src, dst, now) > now
+
+    def partition_until(self, src, dst, now) -> float:
+        """Heal instant of the partition separating ``src`` from
+        ``dst`` at ``now``, or 0.0 when they can talk."""
+        for start, end, group_a in self._cuts:
+            if start <= now < end and (
+                (src.value in group_a) != (dst.value in group_a)
+            ):
+                return end
+        return 0.0
+
+    def _slow_extra(self, node, now) -> float:
+        for start, end, per_message_s in self._slow.get(node.value, ()):
+            if start <= now < end:
+                return per_message_s
         return 0.0
 
     # -- message faults ----------------------------------------------------
@@ -172,6 +228,10 @@ class FaultInjector(NullInjector):
                                 or self.is_down(message.dst, now)):
             self.stats.messages_dropped += 1
             return MessageFaults(dropped=True)
+        if not synchronous and self.cut(message.src, message.dst, now):
+            self.stats.messages_dropped += 1
+            self.stats.partition_dropped += 1
+            return MessageFaults(dropped=True)
         rng = (self.rng if message.wire_id is None
                else self.rng.derive("msg", message.wire_id, attempt))
         dropped = (plan.drop_probability > 0
@@ -181,21 +241,40 @@ class FaultInjector(NullInjector):
                       and rng.maybe(plan.duplicate_probability))
         extra = (rng.uniform(0.0, plan.delay_jitter_s)
                  if plan.delay_jitter_s > 0 else 0.0)
+        # Slow-node service latency is deterministic (no draw): a fixed
+        # surcharge per message touching a degraded endpoint, applied
+        # on both the asynchronous and synchronous paths so accounting
+        # stays path-independent.
+        slow = (self._slow_extra(message.src, now)
+                + self._slow_extra(message.dst, now))
         if dropped:
             self.stats.messages_dropped += 1
         if duplicated:
             self.stats.messages_duplicated += 1
         if extra:
             self.stats.delay_injected_s += extra
-        if not dropped and not duplicated and not extra:
+        if slow:
+            self.stats.slow_delay_s += slow
+        if not dropped and not duplicated and not extra and not slow:
             return NO_FAULTS
         return MessageFaults(dropped=dropped, duplicated=duplicated,
-                             extra_delay_s=extra)
+                             extra_delay_s=extra + slow)
 
     # -- recovery parameters ----------------------------------------------
 
     def lock_wait_timeout_s(self) -> float:
         return self.plan.lock_wait_timeout_s
 
-    def retransmit_timeout_s(self) -> float:
-        return self.plan.retransmit_timeout_s
+    def retransmit_timeout_s(self, attempt: int = 0) -> float:
+        """Retransmission delay before attempt ``attempt + 1``.
+
+        Capped exponential backoff from the plan's base timeout — the
+        same :func:`~repro.util.backoff.backoff_delay` curve the
+        executor's retry loop and the failover reroute path use, here
+        without jitter so the sim and TCP backends account the
+        identical schedule.
+        """
+        return backoff_delay(self.plan.retransmit_timeout_s, attempt)
+
+    def failover_detect_s(self) -> float:
+        return self.plan.failover_detect_s

@@ -8,11 +8,14 @@ function of ``(cluster seed, plan)``.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.util.errors import ConfigurationError
 
-__all__ = ["CrashEvent", "FaultPlan", "FAULT_PRESETS"]
+__all__ = [
+    "CrashEvent", "PartitionEvent", "SlowNodeEvent", "FaultPlan",
+    "FAULT_PRESETS",
+]
 
 
 @dataclass(frozen=True)
@@ -20,16 +23,21 @@ class CrashEvent:
     """One scheduled fail-stop window for a single node.
 
     The node stops sending and receiving at ``at_s`` and comes back at
-    ``at_s + down_for_s``.  Storage is stable across the window (the
-    model is fail-stop with durable pages, not media loss): committed
-    page versions owned by the node survive, but every non-committing
-    transaction family running there is aborted and its directory
-    state reclaimed.
+    ``at_s + down_for_s`` — or at ``recover_at_s`` when given, which
+    expresses the window as an absolute rejoin instant instead of a
+    duration (exactly one of the two forms must be used).  Storage is
+    stable across the window (the model is fail-stop with durable
+    pages, not media loss): committed page versions owned by the node
+    survive, but every non-committing transaction family running there
+    is aborted and its directory state reclaimed.  On rejoin the node
+    replays its durable record and re-integrates
+    (:mod:`repro.faults.recovery`).
     """
 
     node_index: int
     at_s: float
-    down_for_s: float
+    down_for_s: float = 0.0
+    recover_at_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.node_index < 0:
@@ -38,13 +46,94 @@ class CrashEvent:
         if self.at_s < 0:
             raise ConfigurationError(
                 f"crash at_s must be >= 0, got {self.at_s}")
-        if not self.down_for_s > 0:
-            raise ConfigurationError(
-                f"crash down_for_s must be > 0, got {self.down_for_s}")
+        if self.recover_at_s is None:
+            if not self.down_for_s > 0:
+                raise ConfigurationError(
+                    f"crash down_for_s must be > 0, got {self.down_for_s}")
+        else:
+            if self.down_for_s:
+                raise ConfigurationError(
+                    "give either down_for_s or recover_at_s, not both")
+            if not self.recover_at_s > self.at_s:
+                raise ConfigurationError(
+                    f"crash recover_at_s must be > at_s "
+                    f"({self.at_s}), got {self.recover_at_s}")
 
     @property
     def up_at_s(self) -> float:
+        if self.recover_at_s is not None:
+            return self.recover_at_s
         return self.at_s + self.down_for_s
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """One node-set bipartition window.
+
+    From ``at_s`` until ``at_s + heal_after_s`` the cluster is split
+    into ``group_a`` and everyone else: messages crossing the cut are
+    lost (and redelivered by the retransmission loop after the heal),
+    while traffic within either side flows normally.
+    """
+
+    group_a: Tuple[int, ...]
+    at_s: float
+    heal_after_s: float
+
+    def __post_init__(self) -> None:
+        if not self.group_a:
+            raise ConfigurationError("partition group_a must be non-empty")
+        if len(set(self.group_a)) != len(self.group_a):
+            raise ConfigurationError(
+                f"partition group_a has duplicates: {self.group_a}")
+        if any(index < 0 for index in self.group_a):
+            raise ConfigurationError(
+                f"partition node indexes must be >= 0, got {self.group_a}")
+        if self.at_s < 0:
+            raise ConfigurationError(
+                f"partition at_s must be >= 0, got {self.at_s}")
+        if not self.heal_after_s > 0:
+            raise ConfigurationError(
+                f"partition heal_after_s must be > 0, got "
+                f"{self.heal_after_s}")
+
+    @property
+    def heal_at_s(self) -> float:
+        return self.at_s + self.heal_after_s
+
+
+@dataclass(frozen=True)
+class SlowNodeEvent:
+    """One slow/overloaded-node window.
+
+    Every message to or from the node during the window pays an extra
+    fixed ``per_message_s`` of service latency — the node is degraded,
+    not dead, so nothing is dropped and no recovery action fires.
+    """
+
+    node_index: int
+    at_s: float
+    for_s: float
+    per_message_s: float
+
+    def __post_init__(self) -> None:
+        if self.node_index < 0:
+            raise ConfigurationError(
+                f"slow-node node_index must be >= 0, got {self.node_index}")
+        if self.at_s < 0:
+            raise ConfigurationError(
+                f"slow-node at_s must be >= 0, got {self.at_s}")
+        if not self.for_s > 0:
+            raise ConfigurationError(
+                f"slow-node for_s must be > 0, got {self.for_s}")
+        if not self.per_message_s > 0:
+            raise ConfigurationError(
+                f"slow-node per_message_s must be > 0, got "
+                f"{self.per_message_s}")
+
+    @property
+    def until_s(self) -> float:
+        return self.at_s + self.for_s
 
 
 @dataclass(frozen=True)
@@ -57,7 +146,10 @@ class FaultPlan:
     retransmitted ``retransmit_limit`` times, further probabilistic
     drops are suppressed so delivery — and therefore termination — is
     guaranteed.  ``lock_wait_timeout_s == 0`` disables lock-wait
-    timeouts entirely.
+    timeouts entirely.  ``failover_detect_s > 0`` arms GDO home
+    failover: a crashed home's directory entries are re-homed to a
+    deterministic successor once it has been down for that long, and
+    reclaimed when it rejoins.
     """
 
     name: str = "custom"
@@ -67,7 +159,10 @@ class FaultPlan:
     retransmit_timeout_s: float = 0.002
     retransmit_limit: int = 8
     lock_wait_timeout_s: float = 0.0
+    failover_detect_s: float = 0.0
     crashes: Tuple[CrashEvent, ...] = field(default_factory=tuple)
+    partitions: Tuple[PartitionEvent, ...] = field(default_factory=tuple)
+    slow_nodes: Tuple[SlowNodeEvent, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         for label, probability in (
@@ -91,10 +186,24 @@ class FaultPlan:
             raise ConfigurationError(
                 "lock_wait_timeout_s must be >= 0, got "
                 f"{self.lock_wait_timeout_s}")
+        if self.failover_detect_s < 0:
+            raise ConfigurationError(
+                "failover_detect_s must be >= 0, got "
+                f"{self.failover_detect_s}")
         for crash in self.crashes:
             if not isinstance(crash, CrashEvent):
                 raise ConfigurationError(
                     f"crashes must hold CrashEvent instances, got {crash!r}")
+        for cut in self.partitions:
+            if not isinstance(cut, PartitionEvent):
+                raise ConfigurationError(
+                    f"partitions must hold PartitionEvent instances, "
+                    f"got {cut!r}")
+        for slow in self.slow_nodes:
+            if not isinstance(slow, SlowNodeEvent):
+                raise ConfigurationError(
+                    f"slow_nodes must hold SlowNodeEvent instances, "
+                    f"got {slow!r}")
 
     @property
     def max_crash_node_index(self) -> int:
@@ -104,6 +213,15 @@ class FaultPlan:
         return max(crash.node_index for crash in self.crashes)
 
     @property
+    def max_fault_node_index(self) -> int:
+        """Largest node index named by any fault event, or -1."""
+        indexes = [self.max_crash_node_index]
+        indexes.extend(index for cut in self.partitions
+                       for index in cut.group_a)
+        indexes.extend(slow.node_index for slow in self.slow_nodes)
+        return max(indexes)
+
+    @property
     def has_message_faults(self) -> bool:
         return (self.drop_probability > 0
                 or self.duplicate_probability > 0
@@ -111,8 +229,9 @@ class FaultPlan:
 
 
 #: Named presets exercised by ``repro chaos`` and the chaos test suite.
-#: Collectively they cover loss >= 10%, duplication, delay jitter, and
-#: at least one node crash/recovery; "chaos" combines all of them.
+#: Collectively they cover loss >= 10%, duplication, delay jitter,
+#: node crash/recovery, GDO home failover, network bipartitions, and a
+#: slow node; "chaos" combines the message faults with a crash.
 FAULT_PRESETS: Dict[str, FaultPlan] = {
     "lossy-net": FaultPlan(
         name="lossy-net",
@@ -131,6 +250,34 @@ FAULT_PRESETS: Dict[str, FaultPlan] = {
     "crash-recover": FaultPlan(
         name="crash-recover",
         crashes=(CrashEvent(node_index=1, at_s=0.004, down_for_s=0.01),),
+    ),
+    "crash-failover": FaultPlan(
+        name="crash-failover",
+        failover_detect_s=0.003,
+        crashes=(CrashEvent(node_index=1, at_s=0.004,
+                            recover_at_s=0.016),),
+    ),
+    "partition": FaultPlan(
+        name="partition",
+        partitions=(PartitionEvent(group_a=(0, 1), at_s=0.004,
+                                   heal_after_s=0.008),),
+    ),
+    "slow-node": FaultPlan(
+        name="slow-node",
+        slow_nodes=(SlowNodeEvent(node_index=2, at_s=0.002, for_s=0.01,
+                                  per_message_s=0.001),),
+    ),
+    # The recovery gauntlet: two staggered crash/rejoin cycles (so two
+    # nodes replay their durable records against live state) followed
+    # by a bipartition that heals — the canonical input for the
+    # rejoin-reconciliation mutation tests and the CI recovery smoke.
+    "crash-partition": FaultPlan(
+        name="crash-partition",
+        failover_detect_s=0.003,
+        crashes=(CrashEvent(node_index=1, at_s=0.01, recover_at_s=0.04),
+                 CrashEvent(node_index=2, at_s=0.05, recover_at_s=0.09)),
+        partitions=(PartitionEvent(group_a=(0, 1), at_s=0.1,
+                                   heal_after_s=0.008),),
     ),
     "chaos": FaultPlan(
         name="chaos",

@@ -104,7 +104,8 @@ class SimTransport(Transport):
             self.tracer.fault_drop(message, attempt)
             self.injector.stats.retransmissions += 1
             self.tracer.fault_retransmit(message, attempt + 1)
-            retry_after = transfer_time + self.injector.retransmit_timeout_s()
+            retry_after = (transfer_time
+                           + self.injector.retransmit_timeout_s(attempt))
 
             def retransmit(_event, msg=message, target=done,
                            next_attempt=attempt + 1):
@@ -161,7 +162,7 @@ class SimTransport(Transport):
             self.injector.stats.retransmissions += 1
             self.tracer.fault_retransmit(message, attempt + 1)
             total_delay += (transfer_time
-                            + self.injector.retransmit_timeout_s())
+                            + self.injector.retransmit_timeout_s(attempt))
             attempt += 1
         message.deliver_time = self.env.now + total_delay + transfer_time
         self.stats.record_attempts(message)

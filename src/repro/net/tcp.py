@@ -185,6 +185,11 @@ class TcpTransport(Transport):
         #: keeps the wall-clock run loop alive while the wire is busy.
         self._inflight = 0
         self.delivered_log: List[Tuple[str, int, int, int]] = []
+        #: Frames a partitioned relay refused to forward (processes
+        #: mode).  Wire-level evidence only: the authoritative partition
+        #: enforcement — and all accounting — lives in the injector, so
+        #: this counter never feeds FaultStats.
+        self.refused_frames = 0
         self._nodes: List[int] = []
         self._ports: Dict[int, int] = {}
         self._endpoints: Dict[int, _NodeEndpoint] = {}
@@ -228,6 +233,45 @@ class TcpTransport(Transport):
                 f"TCP transport failed to start: {self._startup_error!r}"
             )
         self._started = True
+        if self.processes:
+            self._schedule_partition_epochs()
+
+    def _schedule_partition_epochs(self) -> None:
+        """Arm engine-clock timers that push partition state to relays.
+
+        The injector's fault draws are the *authoritative* partition
+        enforcement (identical on both backends); this makes the real
+        wire honour the cut too, belt and braces: a frame that slips
+        past the engine-side check (written just before the window
+        opened, arriving at the relay inside it) is refused at the src
+        relay and re-shipped by the coordinator after the retransmit
+        timeout until the heal lets it through.
+        """
+        plan = getattr(self.injector, "plan", None)
+        if plan is None or not getattr(plan, "partitions", ()):
+            return
+        for cut in plan.partitions:
+            def activate(_event, cut=cut):
+                self._post_control({
+                    "t": "partition", "group_a": list(cut.group_a),
+                })
+
+            def heal(_event, cut=cut):
+                self._post_control({
+                    "t": "partition_heal", "group_a": list(cut.group_a),
+                })
+
+            now = self.env.now
+            self.env.timeout(max(0.0, cut.at_s - now)).add_callback(activate)
+            self.env.timeout(
+                max(0.0, cut.heal_at_s - now)).add_callback(heal)
+
+    def _post_control(self, payload: dict) -> None:
+        """Broadcast a control frame to every relay (engine thread)."""
+        loop = self._loop
+        if loop is None or self._closed:
+            return
+        loop.call_soon_threadsafe(self._loop_broadcast, dict(payload))
 
     def close(self) -> None:
         if not self._started or self._closed:
@@ -299,7 +343,8 @@ class TcpTransport(Transport):
             self.tracer.fault_drop(message, attempt)
             self.injector.stats.retransmissions += 1
             self.tracer.fault_retransmit(message, attempt + 1)
-            retry_after = transfer_time + self.injector.retransmit_timeout_s()
+            retry_after = (transfer_time
+                           + self.injector.retransmit_timeout_s(attempt))
 
             def retransmit(_event, msg=message, target=done,
                            next_attempt=attempt + 1):
@@ -345,7 +390,7 @@ class TcpTransport(Transport):
             self.injector.stats.retransmissions += 1
             self.tracer.fault_retransmit(message, attempt + 1)
             total_delay += (transfer_time
-                            + self.injector.retransmit_timeout_s())
+                            + self.injector.retransmit_timeout_s(attempt))
             attempt += 1
         message.deliver_time = self.env.now + total_delay + transfer_time
         self.stats.record_attempts(message)
@@ -440,6 +485,31 @@ class TcpTransport(Transport):
         writer.write(data)
         await writer.drain()
 
+    def _loop_broadcast(self, payload: dict) -> None:
+        """Write one control frame to every uplink (socket thread)."""
+        for writer in self._uplinks.values():
+            asyncio.ensure_future(write_envelope(writer, payload))
+
+    def _loop_reship(self, refusal: dict) -> None:
+        """A relay refused a cross-partition frame — re-ship it later.
+
+        The attempt was already fully accounted when it was posted (the
+        refusal is wire-level, below the injector), so this is pure
+        redelivery: re-send the same bytes through the src relay after
+        one retransmit turnaround, escalating with the reship count.
+        Keeps ``_inflight`` balanced — the frame is still outstanding
+        and will decrement it when it finally lands.
+        """
+        inner = refusal["frame"]
+        inner["reships"] = reships = inner.get("reships", 0) + 1
+        self.refused_frames += 1
+        delay = self.injector.retransmit_timeout_s(reships - 1)
+        data = pack_frame(inner)
+        src = inner["src"]
+        assert self._loop is not None
+        self._loop.call_later(delay, lambda: asyncio.ensure_future(
+            self._uplink_ship(src, data, 0.0)))
+
     async def _start_processes(self) -> None:
         """Spawn one relay process per node and exchange the port map."""
         ready = asyncio.Event()
@@ -460,6 +530,8 @@ class TcpTransport(Transport):
                     return
                 if frame.get("t") == "msg":
                     self._arrived(frame)
+                elif frame.get("t") == "refused":
+                    self._loop_reship(frame)
 
         server = await asyncio.start_server(handle_uplink, self.host, 0)
         self._coordinator_server = server

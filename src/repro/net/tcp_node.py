@@ -16,13 +16,22 @@ state stays in the coordinator:
 Frames are opaque to the relay beyond the routing fields, so every
 message crosses two real sockets (coordinator → src relay → dst relay)
 and node-to-node traffic is genuinely inter-process.
+
+Partition awareness: ``{"t": "partition", "group_a": [...]}`` opens a
+bipartition and ``{"t": "partition_heal", ...}`` closes it.  While a
+cut is open the relay *refuses* to forward any message frame whose
+``dst`` is on the other side — it reports ``{"t": "refused", "frame":
+...}`` up the uplink instead, and the coordinator re-ships the frame
+after a retransmit turnaround.  The engine's fault injector is the
+authoritative (and fully accounted) partition model; the relay check
+makes the real wire honour the cut too.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
-from typing import Dict, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.net.tcp import read_envelope, write_envelope
 
@@ -36,6 +45,8 @@ class NodeRelay:
         self._peer_locks: Dict[int, asyncio.Lock] = {}
         self._uplink_writer: asyncio.StreamWriter = None
         self._uplink_lock = asyncio.Lock()
+        #: Open bipartition (one side's node set), or None when whole.
+        self._cut: Optional[FrozenSet[int]] = None
 
     async def run(self) -> None:
         host = self.coordinator[0]
@@ -56,6 +67,10 @@ class NodeRelay:
                         int(node): peer_port
                         for node, peer_port in frame["ports"].items()
                     }
+                elif frame.get("t") == "partition":
+                    self._cut = frozenset(frame["group_a"])
+                elif frame.get("t") == "partition_heal":
+                    self._cut = None
                 elif frame.get("t") == "msg":
                     await self._forward(frame)
         finally:
@@ -66,6 +81,15 @@ class NodeRelay:
 
     async def _forward(self, frame: dict) -> None:
         dst = frame["dst"]
+        cut = self._cut
+        if cut is not None and (self.node in cut) != (dst in cut):
+            # Cross-partition frame: refuse it back up the uplink; the
+            # coordinator re-ships after a retransmit turnaround.
+            async with self._uplink_lock:
+                await write_envelope(
+                    self._uplink_writer, {"t": "refused", "frame": frame}
+                )
+            return
         lock = self._peer_locks.setdefault(dst, asyncio.Lock())
         async with lock:
             writer = self._peer_writers.get(dst)

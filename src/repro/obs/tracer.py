@@ -215,6 +215,18 @@ class NullTracer:
     def crash_cache_invalidate(self, node_index, count):
         pass
 
+    def partition_start(self, group_a, heal_after_s):
+        pass
+
+    def partition_heal(self, group_a):
+        pass
+
+    def gdo_failover(self, object_id, old_home, new_home):
+        pass
+
+    def node_rejoin(self, node_index, replayed, reclaimed, discarded):
+        pass
+
     def __getattr__(self, _name):  # future hooks: still a no-op
         return _noop
 
@@ -293,6 +305,16 @@ class Tracer(NullTracer):
 
     def txn_begin(self, txn):
         self.metrics.gauge("txn.active").inc()
+        if txn.is_root:
+            # Spans are only recorded at their *end*, so a family
+            # interrupted mid-flight (crash, stall) leaves no span —
+            # this instant is the start-of-family evidence the
+            # liveness checker keys on.
+            self.instant(
+                f"txn.start T{txn.id.root}", CAT_TXN, node=txn.node,
+                track=f"family T{txn.id.root}",
+                txn=txn.id, root=txn.id.root,
+            )
         return self.begin(
             f"txn:{txn.label or txn.id!r}", CAT_TXN, node=txn.node,
             track=f"family T{txn.id.root}",
@@ -610,4 +632,33 @@ class Tracer(NullTracer):
         self.instant(
             f"fault.cache_invalidate N{node_index}", CAT_FAULT,
             crashed_node=node_index, entries=count,
+        )
+
+    def partition_start(self, group_a, heal_after_s):
+        self.metrics.counter("fault.partitions").inc()
+        self.instant(
+            f"fault.partition {list(group_a)}", CAT_FAULT,
+            group_a=list(group_a), heal_after_s=heal_after_s,
+        )
+
+    def partition_heal(self, group_a):
+        self.metrics.counter("fault.partition_heals").inc()
+        self.instant(
+            f"fault.partition_heal {list(group_a)}", CAT_FAULT,
+            group_a=list(group_a),
+        )
+
+    def gdo_failover(self, object_id, old_home, new_home):
+        self.metrics.counter("fault.failovers").inc()
+        self.instant(
+            f"gdo.failover {object_id!r}", CAT_GDO, node=new_home,
+            object=object_id, old_home=old_home, new_home=new_home,
+        )
+
+    def node_rejoin(self, node_index, replayed, reclaimed, discarded):
+        self.metrics.counter("fault.rejoins").inc()
+        self.instant(
+            f"fault.node_rejoin N{node_index}", CAT_FAULT,
+            rejoined_node=node_index, replayed=replayed,
+            reclaimed=reclaimed, discarded=discarded,
         )

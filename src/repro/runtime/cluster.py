@@ -8,6 +8,8 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.core import ProtocolSuite, make_protocol
 from repro.faults.crash import CrashController
 from repro.faults.injector import NULL_INJECTOR, FaultInjector
+from repro.faults.recovery import RecoveryManager
+from repro.faults.wal import NULL_WAL, WalSet
 from repro.gdo.cache import EntryCacheTracker
 from repro.gdo.directory import Directory
 from repro.gdo.migration import HomeMigrationManager
@@ -131,11 +133,19 @@ class Cluster:
             self.migration = HomeMigrationManager(
                 config.migration, clock=lambda: self.env.now
             )
+        # Each node's durable write-ahead record, kept only when crashes
+        # are planned: fault-free runs stay byte-identical through the
+        # no-op NULL_WAL.
+        self.wal = (
+            WalSet(config.num_nodes)
+            if config.faults is not None and config.faults.crashes
+            else NULL_WAL
+        )
         self.lockmgr = LockManager(
             self.env, self.network, self.directory, config.sizes, self.cache,
             allow_recursive_reads=config.allow_recursive_reads,
             tracer=self.tracer, injector=self.injector,
-            migration=self.migration,
+            migration=self.migration, wal=self.wal,
         )
         def protocol_factory(name):
             return make_protocol(
@@ -152,17 +162,24 @@ class Cluster:
         self.executor = Executor(
             self.env, config, self.alloc, self.stores, self.directory,
             self.lockmgr, self.protocol, self.rng.derive("executor"),
-            tracer=self.tracer, injector=self.injector,
+            tracer=self.tracer, injector=self.injector, wal=self.wal,
         )
         self.executor._registry = self.registry
         self.scheduler = Scheduler(
             self.nodes, config.scheduler, self.rng.derive("scheduler")
         )
+        self.recovery: Optional[RecoveryManager] = None
         self.crash_controller: Optional[CrashController] = None
-        if config.faults is not None and config.faults.crashes:
+        if config.faults is not None and (config.faults.crashes
+                                          or config.faults.partitions):
+            if config.faults.crashes:
+                self.recovery = RecoveryManager(
+                    self.env, self.injector, self.directory, self.cache,
+                    self.lockmgr, self.wal, self.nodes, self.tracer,
+                )
             self.crash_controller = CrashController(
                 self.env, self.injector, self.lockmgr, self.cache,
-                self.executor, self.tracer,
+                self.executor, self.tracer, recovery=self.recovery,
             )
             self.crash_controller.schedule()
         self.creation_log: List[CreationRecord] = []
@@ -209,6 +226,9 @@ class Cluster:
             slot_values[(name, 0)] = value
         self.stores[node].create_object(object_id, layout, slot_values)
         self.directory.register(object_id, layout.page_count, node)
+        self.wal.record_home(
+            self.directory.entry(object_id).home_node.value, object_id
+        )
         self.creation_log.append(
             CreationRecord(
                 object_id=object_id, schema=schema, node=node,

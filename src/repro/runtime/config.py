@@ -169,10 +169,11 @@ class ClusterConfig:
                 raise ConfigurationError(
                     f"faults must be a FaultPlan, got {self.faults!r}"
                 )
-            if self.faults.max_crash_node_index >= self.num_nodes:
+            if self.faults.max_fault_node_index >= self.num_nodes:
                 raise ConfigurationError(
-                    f"fault plan {self.faults.name!r} crashes node "
-                    f"{self.faults.max_crash_node_index} but the cluster "
+                    f"fault plan {self.faults.name!r} names node "
+                    f"{self.faults.max_fault_node_index} (crash, "
+                    f"partition, or slow-node event) but the cluster "
                     f"has only {self.num_nodes} node(s)"
                 )
         if self.migration is not None and not isinstance(

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.prediction import AccessPrediction, predict
 from repro.faults.injector import NULL_INJECTOR
+from repro.faults.wal import NULL_WAL
 from repro.gdo.entry import LockMode
 from repro.memory.shadow import ShadowLog
 from repro.memory.undo import UndoLog
@@ -32,6 +33,7 @@ from repro.objects.registry import ObjectHandle
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.context import InvocationRequest, TxnContext
 from repro.txn.transaction import Transaction, TxnStats
+from repro.util.backoff import backoff_delay
 from repro.util.errors import (
     ConfigurationError,
     DeadlockError,
@@ -155,7 +157,7 @@ class Executor:
     """Executes root transactions against one cluster's substrates."""
 
     def __init__(self, env, config, alloc, stores, directory, lockmgr,
-                 protocol, rng, tracer=None, injector=None):
+                 protocol, rng, tracer=None, injector=None, wal=None):
         self.env = env
         self.config = config
         self.alloc = alloc
@@ -166,6 +168,7 @@ class Executor:
         self.rng = rng
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.injector = injector if injector is not None else NULL_INJECTOR
+        self.wal = wal if wal is not None else NULL_WAL
         self._recovery_factory = (
             ShadowLog if config.recovery == "shadow" else UndoLog
         )
@@ -278,12 +281,11 @@ class Executor:
 
     def _retry_backoff(self, attempts: int) -> float:
         """Capped exponential backoff with seeded jitter (same stream
-        and formula for every retryable abort cause)."""
-        return (
-            self.config.retry_backoff_s
-            * (2 ** min(attempts, 6))
-            * (0.5 + self.rng.random())
-        )
+        and formula for every retryable abort cause) — the unified
+        curve of :func:`repro.util.backoff.backoff_delay`, shared with
+        the network retransmission timers and the failover reroute."""
+        return backoff_delay(self.config.retry_backoff_s, attempts,
+                             rng=self.rng)
 
     def _await_node_up(self, node: NodeId):
         """Hold off while ``node`` is inside a crash window.
@@ -313,8 +315,13 @@ class Executor:
         for object_id, pages in root.dirty.items():
             entry = self.directory.entry(object_id)
             for page in pages:
-                store.set_page_version(object_id, page,
-                                       entry.latest_version(page))
+                version = entry.latest_version(page)
+                store.set_page_version(object_id, page, version)
+                # Durable record: the committed version now owned here
+                # survives a crash of this node (fail-stop with stable
+                # storage) and is replayed at rejoin.
+                self.wal.record_page(root.node.value, object_id, page,
+                                     version)
         self.protocol.on_root_commit(root, dict(root.dirty), self._meta_of)
         root.mark_committed()
         self._finalize_prediction_accounting(root)
@@ -325,6 +332,33 @@ class Executor:
         root.dirty.clear()
         yield from self.lockmgr.root_abort_release(root)
         root.mark_aborted()
+
+    def crash_rollback(self, root: Transaction) -> int:
+        """Discard a crash-aborted family's uncommitted writes *now*.
+
+        A node crash frees the family's directory entries at the crash
+        instant (``crash_release``), but the family's own unwinding —
+        which normally applies the undo logs frame by frame — is
+        exception-driven and can stall on the down node's messaging
+        until rejoin.  In that window another family could acquire the
+        freed locks and read the doomed family's dirty slots straight
+        out of the crashed node's store.  Volatile state dies with the
+        node, so the whole family tree's logs are applied here, newest
+        frame first; the stalled unwinding later re-applies only
+        already-emptied logs.
+        """
+        store = self.stores[root.node]
+        applied = 0
+
+        def walk(txn: Transaction) -> None:
+            nonlocal applied
+            for child in reversed(txn.children):
+                walk(child)
+            applied += txn.undo.apply(store)
+            txn.dirty.clear()
+
+        walk(root)
+        return applied
 
     def _prefetch(self, txn: Transaction, handle: ObjectHandle, args):
         """Optimistic pre-acquisition of predicted invocation targets.

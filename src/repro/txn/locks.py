@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro.faults.injector import NULL_INJECTOR
+from repro.faults.wal import NULL_WAL
 from repro.gdo.cache import EntryCacheTracker
 from repro.gdo.directory import Directory
 from repro.gdo.entry import DirectoryEntry, GrantDecision, LockMode, Waiter
@@ -32,6 +33,7 @@ from repro.net.network import Network
 from repro.net.sizes import SizeModel
 from repro.obs.tracer import NULL_TRACER
 from repro.txn.transaction import Transaction
+from repro.util.backoff import backoff_delay
 from repro.util.errors import (
     DeadlockError,
     LockTimeoutError,
@@ -81,7 +83,7 @@ class LockManager:
     def __init__(self, env, network: Network, directory: Directory,
                  sizes: SizeModel, cache: EntryCacheTracker,
                  allow_recursive_reads: bool = False, tracer=None,
-                 injector=None, migration=None):
+                 injector=None, migration=None, wal=None):
         self.env = env
         self.network = network
         self.directory = directory
@@ -90,6 +92,10 @@ class LockManager:
         self.allow_recursive_reads = allow_recursive_reads
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.injector = injector if injector is not None else NULL_INJECTOR
+        #: Per-node durable record (repro.faults.wal); the home node's
+        #: holder lists are snapshotted on every global grant/release so
+        #: crash recovery can replay them.  NULL_WAL no-ops by default.
+        self.wal = wal if wal is not None else NULL_WAL
         #: Optional :class:`~repro.gdo.migration.HomeMigrationManager`;
         #: ``None`` keeps the static partition (and adds zero work).
         self.migration = migration
@@ -162,6 +168,9 @@ class LockManager:
         self.stats.global_acquisitions += 1
         if self.migration is not None:
             self.migration.record_access(object_id, node)
+        if (self.injector.failover_detect_s() > 0
+                and self.injector.is_down(entry.home_node, self.env.now)):
+            yield from self._reroute_failover(entry)
         home = entry.home_node
         request_started = self.env.now
         self.tracer.gdo_forward(node, home, object_id)
@@ -185,6 +194,7 @@ class LockManager:
             entry.grant(txn, mode)
             self._record_grant(object_id, txn, mode)
             self.cache.on_granted(object_id, node)
+            self._wal_record_holders(object_id, entry)
             if family_already_present:
                 # Re-entrant grant (the family already holds/retains the
                 # lock, e.g. after its cached entry was displaced): no
@@ -245,6 +255,9 @@ class LockManager:
             return None  # already ours: nothing to pre-acquire
         if self.migration is not None:
             self.migration.record_access(object_id, node)
+        if (self.injector.failover_detect_s() > 0
+                and self.injector.is_down(entry.home_node, self.env.now)):
+            yield from self._reroute_failover(entry)
         home = entry.home_node
         request = Message(
             src=node, dst=home,
@@ -277,6 +290,7 @@ class LockManager:
         self._record_grant(object_id, txn, mode)
         entry.demote_to_retained(txn)
         self.cache.on_granted(object_id, node)
+        self._wal_record_holders(object_id, entry)
         self.stats.prefetch_granted += 1
         self.tracer.lock_prefetch(txn, object_id, granted=True, mode=mode)
         snapshot = entry.page_map_snapshot()
@@ -298,6 +312,38 @@ class LockManager:
         self.directory.refresh_deadlock_edges(object_id)
         self._detect_deadlocks()
         return snapshot
+
+    def _wal_record_holders(self, object_id: ObjectId,
+                            entry: DirectoryEntry) -> None:
+        """Snapshot the entry's holders into its home's durable record.
+
+        A crashed home takes no writes: its stable storage keeps the
+        last pre-crash snapshot, which is exactly what the node must
+        reconcile (discard stale holders) when it rejoins — see
+        :meth:`repro.faults.recovery.RecoveryManager.rejoin`.
+        """
+        home = entry.home_node
+        if self.injector.is_down(home, self.env.now):
+            return
+        self.wal.record_holders(home.value, object_id, entry)
+
+    def _reroute_failover(self, entry: DirectoryEntry):
+        """Wait out a dead home until failover re-homes the entry.
+
+        Without failover armed, a request to a down home rides the
+        retransmission loop until the node recovers — correct, but the
+        family stalls for the whole crash window.  With it, back off on
+        the unified curve (base = the detection timeout, so the first
+        re-check lands right around the failover instant) until either
+        the entry was re-homed to the live successor or the node
+        recovered first; the caller then re-reads ``entry.home_node``.
+        """
+        self.injector.stats.failover_reroutes += 1
+        base = self.injector.failover_detect_s()
+        attempt = 0
+        while self.injector.is_down(entry.home_node, self.env.now):
+            yield self.env.timeout(backoff_delay(base, attempt))
+            attempt += 1
 
     def _forward_request(self, object_id: ObjectId, old_home: NodeId,
                          new_home: NodeId):
@@ -596,6 +642,7 @@ class LockManager:
                 self.cache.on_freed(object_id)
             woken = entry.pump(self.allow_recursive_reads)
             self._deliver_grants(entry, woken, roots_before)
+            self._wal_record_holders(object_id, entry)
             self.directory.refresh_deadlock_edges(object_id)
         self._detect_deadlocks()
         if self.migration is not None:
@@ -650,7 +697,9 @@ class LockManager:
                 self._migrating.discard(object_id)
             if not entry.is_free or entry.has_waiters():
                 continue  # a racing request got in first: stay put
-            self.directory.move_home(object_id, target)
+            moved_from = self.directory.move_home(object_id, target)
+            self.wal.record_home_moved(moved_from.value, target.value,
+                                       object_id)
             # The quiescent entry has no holders, but a stale cached
             # holder list at any site would now route Algorithm 4.1's
             # fast path to the wrong home — drop it.

@@ -1,0 +1,33 @@
+"""Capped exponential backoff, shared by every retry loop.
+
+One formula serves the deadlock/timeout retry loop in the executor,
+the network retransmission timers, and the GDO failover reroute path:
+``base * 2**min(attempt, cap)``, optionally jittered into
+``[0.5x, 1.5x)`` by a seeded RNG stream.  Keeping the formula in one
+place means "how aggressively does this system retry" is a single
+tunable fact rather than three drifting copies.
+"""
+
+from typing import Optional
+
+__all__ = ["BACKOFF_CAP", "backoff_delay"]
+
+#: Doubling stops after this many attempts (2**6 = 64x base).  Beyond
+#: it the delay is constant: retries stay live without the wait growing
+#: past any fault window the presets schedule.
+BACKOFF_CAP = 6
+
+
+def backoff_delay(base_s: float, attempt: int, cap: int = BACKOFF_CAP,
+                  rng: Optional[object] = None) -> float:
+    """Delay before retry number ``attempt`` (0-based).
+
+    With ``rng`` (anything exposing ``random() -> [0, 1)``), the delay
+    is jittered over ``[0.5x, 1.5x)`` to de-synchronize competing
+    retriers; without it the delay is exact, which the network layer
+    relies on for cross-backend accounting parity.
+    """
+    delay = base_s * (2 ** min(attempt, cap))
+    if rng is not None:
+        delay *= 0.5 + rng.random()
+    return delay

@@ -37,6 +37,7 @@ class WorkloadRun:
         have to reach into ``cluster.lock_stats``)."""
         txn_stats = self.cluster.txn_stats
         fault_stats = self.cluster.fault_stats
+        migration_stats = self.cluster.migration_stats
         return {
             "protocol": self.cluster.config.protocol,
             "seed": self.cluster.config.seed,
@@ -51,6 +52,14 @@ class WorkloadRun:
             "retransmissions": fault_stats.retransmissions,
             "lock_timeout_aborts": txn_stats.aborts_lock_timeout,
             "crash_aborted_families": fault_stats.crash_aborted_families,
+            "partition_dropped": fault_stats.partition_dropped,
+            "failovers": fault_stats.failovers,
+            "failover_reroutes": fault_stats.failover_reroutes,
+            "rejoin_replayed_records": fault_stats.rejoin_replayed_records,
+            "forwarded_requests": (
+                migration_stats.forwarded_requests
+                if migration_stats is not None else 0
+            ),
             **self.cluster.stats_summary(),
         }
 

@@ -2,6 +2,7 @@
 
 from repro.check import (
     check_commit_order,
+    check_liveness,
     check_page_version_monotonic,
     check_retained_descendants,
     check_single_writer,
@@ -170,6 +171,99 @@ class TestCommitOrder:
         trace = [grant("T0", 1, "W"), grant("T5", 1, "W"),
                  txn_end("T5", "commit")]
         assert check_commit_order(trace) == []
+
+
+def txn_start(root, ts=0.0):
+    return {
+        "name": f"txn.start T{root}", "category": "txn", "phase": "i",
+        "ts": ts, "args": {"txn": f"T{root}", "root": root},
+    }
+
+
+def crash(node, ts=0.0):
+    return {
+        "name": f"fault.node_crash N{node}", "category": "fault",
+        "phase": "i", "ts": ts,
+        "args": {"crashed_node": node, "down_for_s": 0.01},
+    }
+
+
+def recover(node, ts=0.0):
+    return {
+        "name": f"fault.node_recover N{node}", "category": "fault",
+        "phase": "i", "ts": ts, "args": {"recovered_node": node},
+    }
+
+
+def crash_abort(root, node=1, ts=0.0):
+    return {
+        "name": f"fault.crash_abort T{root}", "category": "fault",
+        "phase": "i", "ts": ts, "args": {"crashed_node": node, "root": root},
+    }
+
+
+def partition(group_a, ts=0.0):
+    return {
+        "name": f"fault.partition {list(group_a)}", "category": "fault",
+        "phase": "i", "ts": ts,
+        "args": {"group_a": list(group_a), "heal_after_s": 0.01},
+    }
+
+
+def partition_heal(group_a, ts=0.0):
+    return {
+        "name": f"fault.partition_heal {list(group_a)}", "category": "fault",
+        "phase": "i", "ts": ts, "args": {"group_a": list(group_a)},
+    }
+
+
+class TestLiveness:
+    def test_committed_and_aborted_families_are_live(self):
+        trace = [
+            txn_start(0), txn_start(7),
+            txn_end("T0", "commit"), txn_end("T7", "abort"),
+        ]
+        assert check_liveness(trace) == []
+
+    def test_unterminated_family_is_flagged_when_all_healed(self):
+        trace = [
+            crash(1), txn_start(3), recover(1),
+            txn_start(4), txn_end("T4", "commit"),
+        ]
+        assert checkers(check_liveness(trace)) == ["invariant.liveness"]
+
+    def test_crash_abort_counts_as_termination(self):
+        trace = [txn_start(3), crash(1), crash_abort(3), recover(1)]
+        assert check_liveness(trace) == []
+
+    def test_unrecovered_crash_excuses_stuck_families(self):
+        # Fail-stop without recovery: waiting forever on a dead node is
+        # the expected behaviour, not a protocol bug.
+        trace = [txn_start(3), crash(1)]
+        assert check_liveness(trace) == []
+
+    def test_unhealed_partition_excuses_stuck_families(self):
+        trace = [txn_start(3), partition((0, 1))]
+        assert check_liveness(trace) == []
+
+    def test_healed_partition_does_not_excuse(self):
+        trace = [txn_start(3), partition((0, 1)), partition_heal((0, 1))]
+        assert checkers(check_liveness(trace)) == ["invariant.liveness"]
+
+    def test_sub_transaction_spans_do_not_terminate_the_family(self):
+        # Only the *root's* end span terminates; a child ending while
+        # the root hangs is exactly the ghost-holder signature.
+        trace = [
+            txn_start(3), txn_end("T9/r3", "commit"),
+        ]
+        assert checkers(check_liveness(trace)) == ["invariant.liveness"]
+
+    def test_one_open_window_among_many_healed_still_excuses(self):
+        trace = [
+            crash(1), recover(1), crash(2),  # second window never heals
+            txn_start(3),
+        ]
+        assert check_liveness(trace) == []
 
 
 class TestRunInvariants:

@@ -53,8 +53,9 @@ class TestRetransmission:
         message = msg()
         net.send(message)
         env.run()
-        # Two lost attempts (transfer + timeout each), then one delivery.
-        expected = 2 * (TRANSFER + 0.001) + TRANSFER
+        # Two lost attempts (transfer + escalating backoff timeout
+        # each: base, then 2x base), then one delivery.
+        expected = (TRANSFER + 0.001) + (TRANSFER + 0.002) + TRANSFER
         assert message.deliver_time == pytest.approx(expected)
 
     def test_no_drops_matches_clean_network(self):
@@ -99,7 +100,8 @@ class TestChargePath:
                          retransmit_timeout_s=0.001)
         env, net, injector = faulty_net(plan)
         elapsed = net.charge(msg())
-        assert elapsed == pytest.approx(2 * (TRANSFER + 0.001) + TRANSFER)
+        assert elapsed == pytest.approx(
+            (TRANSFER + 0.001) + (TRANSFER + 0.002) + TRANSFER)
         assert injector.stats.messages_dropped == 2
         assert net.stats.total_messages == 3
         # charge is synchronous: nothing was scheduled on the clock.
@@ -134,7 +136,7 @@ class TestSendTimePreservation:
         env.run()
         assert message.send_time == pytest.approx(0.5)
         assert message.deliver_time - message.send_time == pytest.approx(
-            2 * (TRANSFER + 0.001) + TRANSFER)
+            (TRANSFER + 0.001) + (TRANSFER + 0.002) + TRANSFER)
 
     def test_attempts_accounted_in_stats(self):
         plan = FaultPlan(drop_probability=1.0, retransmit_limit=3,

@@ -95,7 +95,8 @@ class TestEventDrivenCompletion:
         assert shipped == [0]
         t_req = network.config.transfer_time(sizes.page_request(1))
         t_resp = network.config.transfer_time(sizes.page_data(1))
-        leg = lambda t: 2 * (t + 0.001) + t  # noqa: E731
+        # Escalating backoff: 1x base after attempt 0, 2x after 1.
+        leg = lambda t: (t + 0.001) + (t + 0.002) + t  # noqa: E731
         assert env.now == pytest.approx(leg(t_req) + leg(t_resp))
         # Strictly later than the old estimated round trip: the
         # phantom-time install bug would have finished here.
