@@ -26,17 +26,36 @@ class DeadlockDetector:
     def __init__(self) -> None:
         # entry -> (waiting family roots, blocking family roots)
         self._entry_waits: Dict[ObjectId, tuple] = {}
+        # Lazily materialized adjacency, shared by every find_cycle
+        # call until the next entry refresh.  The deadlock check runs
+        # once per *blocked family* per edge change; without the cache
+        # each of those checks rebuilt the full adjacency from every
+        # entry's contribution — the single hottest cost in the whole
+        # engine under contended workloads.
+        self._adjacency: Optional[Dict[int, Set[int]]] = None
+        # Per-adjacency-generation memos: families proven cycle-free
+        # (a completed DFS that found nothing certifies every node it
+        # visited — no cycle is reachable from any of them until an
+        # edge changes), and sorted neighbor lists (DFS visits
+        # neighbors in sorted order for determinism; sorting once per
+        # node per generation keeps that order without re-sorting on
+        # every visit).
+        self._cycle_free: Set[int] = set()
+        self._sorted_targets: Dict[int, List[int]] = {}
 
     def update_entry(self, object_id: ObjectId,
                      waiting: FrozenSet[int], blocking: FrozenSet[int]) -> None:
         """Refresh the wait edges contributed by one directory entry."""
         if not waiting or not blocking:
-            self._entry_waits.pop(object_id, None)
+            if self._entry_waits.pop(object_id, None) is not None:
+                self._adjacency = None
             return
         self._entry_waits[object_id] = (frozenset(waiting), frozenset(blocking))
+        self._adjacency = None
 
     def clear_entry(self, object_id: ObjectId) -> None:
-        self._entry_waits.pop(object_id, None)
+        if self._entry_waits.pop(object_id, None) is not None:
+            self._adjacency = None
 
     def drop_family(self, root: int) -> None:
         """Remove one family from every edge (crash-aborted families).
@@ -53,33 +72,54 @@ class DeadlockDetector:
             self.update_entry(object_id, waiting - {root}, blocking - {root})
 
     def edges(self) -> Dict[int, Set[int]]:
-        """Materialized adjacency: family -> families it waits for."""
-        adjacency: Dict[int, Set[int]] = {}
-        for waiting, blocking in self._entry_waits.values():
-            for waiter in waiting:
-                targets = adjacency.setdefault(waiter, set())
-                targets.update(root for root in blocking if root != waiter)
+        """Materialized adjacency: family -> families it waits for.
+
+        Cached between entry refreshes; callers must treat the result
+        as read-only (mutating it would corrupt the cache).
+        """
+        adjacency = self._adjacency
+        if adjacency is None:
+            adjacency = {}
+            for waiting, blocking in self._entry_waits.values():
+                for waiter in waiting:
+                    targets = adjacency.get(waiter)
+                    if targets is None:
+                        targets = adjacency[waiter] = set()
+                    targets.update(blocking)
+                    targets.discard(waiter)
+            self._adjacency = adjacency
+            self._cycle_free.clear()
+            self._sorted_targets.clear()
         return adjacency
 
     def find_cycle(self, start: int) -> Optional[List[int]]:
         """Return a cycle reachable from ``start``, or None.
 
-        Iterative DFS with an explicit stack; the graph is tiny (one
-        node per *blocked* family), so no incremental cleverness is
-        needed.
+        DFS in sorted-neighbor order (deterministic).  Nodes certified
+        cycle-free by an earlier completed search on the same adjacency
+        generation are pruned: no cycle is reachable from them, and no
+        cycle through the *current* path can route via them either (it
+        would be a cycle reachable from them — contradiction), so
+        pruning cannot change which cycle is found.
         """
         adjacency = self.edges()
-        if start not in adjacency:
+        if start not in adjacency or start in self._cycle_free:
             return None
+        sorted_targets = self._sorted_targets
         path: List[int] = []
         on_path: Set[int] = set()
-        visited: Set[int] = set()
+        visited: Set[int] = set(self._cycle_free)
 
         def dfs(node: int) -> Optional[List[int]]:
             visited.add(node)
             path.append(node)
             on_path.add(node)
-            for target in sorted(adjacency.get(node, ())):
+            targets = sorted_targets.get(node)
+            if targets is None:
+                targets = sorted_targets[node] = sorted(
+                    adjacency.get(node, ())
+                )
+            for target in targets:
                 if target in on_path:
                     cycle_start = path.index(target)
                     return path[cycle_start:]
@@ -91,7 +131,12 @@ class DeadlockDetector:
             on_path.discard(node)
             return None
 
-        return dfs(start)
+        found = dfs(start)
+        if found is None:
+            # Every node this completed search visited is cycle-free
+            # until the next edge refresh invalidates the generation.
+            self._cycle_free.update(visited)
+        return found
 
     def pick_victim(self, cycle: List[int]) -> int:
         """Youngest family = highest root serial = least work lost."""

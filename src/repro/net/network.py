@@ -91,7 +91,8 @@ class SimTransport(Transport):
         transfer_time = (self.config.transfer_time(message.size_bytes)
                          + faults.extra_delay_s)
         self.stats.record(message, transfer_time)
-        self.tracer.message(message, transfer_time)
+        if self.tracer.enabled:
+            self.tracer.message(message, transfer_time)
         if faults.duplicated:
             # The duplicate burns wire time whether or not the primary
             # copy survives; the receiver discards it on arrival
@@ -148,7 +149,8 @@ class SimTransport(Transport):
             transfer_time = (self.config.transfer_time(message.size_bytes)
                              + faults.extra_delay_s)
             self.stats.record(message, transfer_time)
-            self.tracer.message(message, transfer_time)
+            if self.tracer.enabled:
+                self.tracer.message(message, transfer_time)
             if faults.duplicated:
                 # Same rule as the asynchronous path: the duplicate's
                 # wire copy is accounted on every attempt it rides.

@@ -4,12 +4,65 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Generator, Optional
+from typing import Any, Generator, List, Optional
 
 from repro.obs.tracer import NULL_TRACER
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import _PENDING, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, ProtocolError
+
+
+class _Bootstrap:
+    """Recycled one-shot trigger that kicks a freshly spawned process.
+
+    Spawning allocated a full :class:`~repro.sim.events.Event` (name
+    f-string, callback list) per process just to deliver one ``None``
+    on the next step.  This stand-in carries only the resume hook and
+    returns itself to the environment's pool after firing, so process
+    churn costs no per-spawn event allocation.  The class attributes
+    mirror a succeeded event exactly (``ok``/``value``/empty ``hints``),
+    which is all :meth:`Process._resume` and the tie-break policies
+    ever read.
+    """
+
+    __slots__ = ("env", "resume")
+
+    ok = True
+    value = None
+    hints: dict = {}
+
+    def __init__(self, env, resume):
+        self.env = env
+        self.resume = resume
+
+    def _process(self) -> None:
+        resume, self.resume = self.resume, None
+        resume(self)
+        self.env._bootstrap_pool.append(self)
+
+
+class _WakeBatch:
+    """One heap entry standing in for several same-instant wake events.
+
+    The batched events are already triggered (value/ok set); popping
+    the batch runs their callbacks back-to-back in trigger order —
+    exactly the order separate heap entries would have produced under
+    FIFO, since nothing can be scheduled between consecutive
+    ``succeed`` calls.  ``events_processed`` is advanced by the batch
+    size so the ``sim.run`` span's ``events=`` count (and the
+    events/s metric) stays identical to the unbatched schedule.
+    """
+
+    __slots__ = ("env", "events")
+
+    def __init__(self, env, events):
+        self.env = env
+        self.events = events
+
+    def _process(self) -> None:
+        self.env._events_processed += len(self.events) - 1
+        for event in self.events:
+            event._process()
 
 
 class Environment:
@@ -28,6 +81,13 @@ class Environment:
     reproducible interleaving — the schedule-exploration surface of
     :mod:`repro.check`.
 
+    The default-FIFO configuration is the engine's fast path: heap
+    entries shrink to ``(time, seq, event)`` (no rank slot, no
+    ``policy.rank()`` call), and same-instant lock-wake groups may be
+    batched into one entry (:meth:`succeed_all`).  Both are
+    pop-order-identical to the ranked path by construction — see
+    ``tests/test_engine_fastpath.py``.
+
     ``tracer`` (settable after construction, since the tracer's clock
     is this environment) receives one ``sim.run`` span per :meth:`run`
     call; the default :data:`~repro.obs.tracer.NULL_TRACER` is a no-op.
@@ -38,8 +98,9 @@ class Environment:
         self._queue: list = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        self._bootstrap_pool: List[_Bootstrap] = []
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.tiebreak = tiebreak
+        self._tiebreak = tiebreak
 
     @property
     def now(self) -> float:
@@ -50,6 +111,27 @@ class Environment:
     def events_processed(self) -> int:
         """Total events executed since construction (diagnostics)."""
         return self._events_processed
+
+    @property
+    def tiebreak(self):
+        """The installed tie-break policy (``None`` = FIFO fast path)."""
+        return self._tiebreak
+
+    @tiebreak.setter
+    def tiebreak(self, policy) -> None:
+        # The heap tuple shape depends on whether a policy is
+        # installed; reshape any pending entries so mixed shapes never
+        # coexist (switching mid-run is a test-only convenience —
+        # ranks for already-queued events are assigned at switch time).
+        if (policy is None) != (self._tiebreak is None) and self._queue:
+            if policy is None:
+                entries = [(t, s, e) for (t, _r, s, e) in self._queue]
+            else:
+                entries = [(t, policy.rank(e), s, e)
+                           for (t, s, e) in self._queue]
+            heapq.heapify(entries)
+            self._queue = entries
+        self._tiebreak = policy
 
     # -- factory helpers -------------------------------------------------
 
@@ -70,12 +152,54 @@ class Environment:
 
     # -- scheduling ------------------------------------------------------
 
-    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        policy = self.tiebreak
-        rank = 0 if policy is None else policy.rank(event)
+    def _schedule_event(self, event, delay: float = 0.0) -> None:
+        policy = self._tiebreak
+        if policy is None:
+            heapq.heappush(
+                self._queue,
+                (self._now + delay, next(self._sequence), event),
+            )
+        else:
+            heapq.heappush(
+                self._queue,
+                (self._now + delay, policy.rank(event),
+                 next(self._sequence), event),
+            )
+
+    def _spawn_bootstrap(self, resume) -> None:
+        """Schedule a pooled zero-delay trigger that calls ``resume``."""
+        pool = self._bootstrap_pool
+        if pool:
+            bootstrap = pool.pop()
+            bootstrap.resume = resume
+        else:
+            bootstrap = _Bootstrap(self, resume)
+        self._schedule_event(bootstrap)
+
+    def succeed_all(self, events, value: Any = None) -> None:
+        """Trigger every pending event in ``events`` with ``value``.
+
+        On the FIFO fast path the group becomes *one* heap entry whose
+        processing runs each event's callbacks in order — identical
+        pop order to individual ``succeed`` calls (nothing can be
+        scheduled between them), at a fraction of the heap traffic.
+        With a tie-break policy installed each event must be ranked
+        individually, so the batch degenerates to per-event succeeds.
+        """
+        if not events:
+            return
+        if self._tiebreak is not None or len(events) == 1:
+            for event in events:
+                event.succeed(value)
+            return
+        for event in events:
+            if event._value is not _PENDING:
+                raise ProtocolError(f"event {event} triggered twice")
+            event._value = value
+            event._ok = True
         heapq.heappush(
             self._queue,
-            (self._now + delay, rank, next(self._sequence), event),
+            (self._now, next(self._sequence), _WakeBatch(self, list(events))),
         )
 
     def peek(self) -> float:
@@ -84,17 +208,20 @@ class Environment:
 
     def step(self) -> None:
         """Process the single next event, advancing the clock to it."""
-        when, _rank, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+        entry = heapq.heappop(self._queue)
+        self._now = entry[0]
         self._events_processed += 1
-        event._process()
+        entry[-1]._process()
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or the clock passes ``until``.
 
         Returns the final simulated time.  With ``until`` set, the clock
         is advanced exactly to ``until`` even if the last event fires
-        earlier, matching the usual DES convention.
+        earlier, matching the usual DES convention; both exit paths
+        (queue drained, next event past ``until``) leave ``now``
+        clamped to ``until`` and record the same ``events=`` count on
+        the ``sim.run`` span.
         """
         if until is not None and until < self._now:
             raise ConfigurationError(
@@ -102,13 +229,25 @@ class Environment:
             )
         token = self.tracer.begin("sim.run", "sim", until=until)
         processed_before = self._events_processed
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
-                if until is not None and self.peek() > until:
-                    self._now = until
-                    return self._now
-                self.step()
-            if until is not None:
+            if until is None:
+                while queue:
+                    entry = pop(queue)
+                    self._now = entry[0]
+                    self._events_processed += 1
+                    entry[-1]._process()
+            else:
+                while queue:
+                    when = queue[0][0]
+                    if when > until:
+                        self._now = until
+                        return until
+                    entry = pop(queue)
+                    self._now = when
+                    self._events_processed += 1
+                    entry[-1]._process()
                 self._now = max(self._now, until)
             return self._now
         finally:

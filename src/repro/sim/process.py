@@ -31,10 +31,10 @@ class Process(Event):
         self._generator = generator
         self._waiting_on = None
         self._pending_interrupt = None
-        # Kick off on a zero-delay event so creation order does not matter.
-        bootstrap = Event(env, name=f"init:{self.name}")
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed()
+        self._poison_pending = False
+        # Kick off on a pooled zero-delay trigger so creation order
+        # does not matter (and spawning allocates no per-process event).
+        env._spawn_bootstrap(self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -50,9 +50,17 @@ class Process(Event):
         a node crash killing an in-flight transaction family.  No-op
         on a finished process; a process interrupted before its
         bootstrap step receives the exception at its first yield.
+
+        The first interrupt wins: a second ``interrupt()`` before the
+        process has observed the first (pending *or* in-flight poison)
+        is dropped, so the process is resumed exactly once with
+        exactly the first exception — never twice, and never with a
+        later exception overwriting the first.
         """
         if self.triggered:
             return
+        if self._pending_interrupt is not None or self._poison_pending:
+            return  # first interrupt wins; the poison path is one-shot
         target = self._waiting_on
         if target is None:
             # Not yet bootstrapped (or between steps): deliver lazily.
@@ -64,39 +72,47 @@ class Process(Event):
             except ValueError:
                 pass
         self._waiting_on = None
+        self._poison_pending = True
         poison = Event(self.env, name=f"interrupt:{self.name}")
         poison.add_callback(self._resume)
         poison.fail(exc)
 
-    def _resume(self, fired: Event) -> None:
+    def _resume(self, fired) -> None:
         self._waiting_on = None
-        try:
-            if self._pending_interrupt is not None:
-                exc = self._pending_interrupt
-                self._pending_interrupt = None
-                target = self._generator.throw(exc)
-            elif fired.ok:
-                target = self._generator.send(fired.value)
-            else:
-                target = self._generator.throw(fired.value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - must propagate into event
-            self.fail(exc)
-            return
-        if not isinstance(target, Event):
-            exc = TypeError(
+        self._poison_pending = False
+        generator = self._generator
+        if self._pending_interrupt is not None:
+            throw: object = self._pending_interrupt
+            self._pending_interrupt = None
+        elif fired.ok:
+            throw = None
+        else:
+            throw = fired.value
+        # Loop rather than recurse: a generator that *catches* an
+        # injected exception (the non-Event TypeError below, or an
+        # interrupt) and yields a fresh event must re-attach to it —
+        # the pre-loop code discarded that recovered yield, leaving
+        # the process permanently stalled.
+        while True:
+            try:
+                if throw is not None:
+                    target = generator.throw(throw)
+                else:
+                    target = generator.send(fired.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - must propagate into event
+                self.fail(exc)
+                return
+            if isinstance(target, Event):
+                self._waiting_on = target
+                target.add_callback(self._resume)
+                return
+            throw = TypeError(
                 f"process {self.name!r} yielded {target!r}; "
                 f"processes may only yield simulation events"
             )
-            try:
-                self._generator.throw(exc)
-            except BaseException as raised:  # noqa: BLE001
-                self.fail(raised)
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume)
 
     def __repr__(self) -> str:
         state = "alive" if self.is_alive else ("ok" if self.ok else "failed")

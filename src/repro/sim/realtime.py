@@ -141,10 +141,13 @@ class WallClockEnvironment(Environment):
                         timeout = min(timeout, until - wall)
                     if self._wait_inbox(timeout):
                         continue  # new work may precede the head event
-                when, _rank, _seq, event = heapq.heappop(self._queue)
-                self._advance(when)
+                # Heap entries are (time, seq, event) on the FIFO fast
+                # path and (time, rank, seq, event) with a policy;
+                # first/last indexing covers both shapes.
+                entry = heapq.heappop(self._queue)
+                self._advance(entry[0])
                 self._events_processed += 1
-                event._process()
+                entry[-1]._process()
             self._advance()
             return self._now
         finally:

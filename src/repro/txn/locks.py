@@ -153,8 +153,9 @@ class LockManager:
                 self._record_grant(object_id, txn, mode)
                 txn.lock_objects.add(object_id)
                 self.stats.local_acquisitions += 1
-                self.tracer.lock_granted(txn, object_id, mode, "local",
-                                         info=entry.trace_info())
+                if self.tracer.enabled:
+                    self.tracer.lock_granted(txn, object_id, mode, "local",
+                                             info=entry.trace_info())
                 return None
             if decision is GrantDecision.WAIT_LOCAL:
                 self.stats.local_acquisitions += 1
@@ -220,8 +221,9 @@ class LockManager:
             self.tracer.gdo_request_latency(
                 entry.home_node, self.env.now - request_started
             )
-            self.tracer.lock_granted(txn, object_id, mode, "global",
-                                     info=entry.trace_info())
+            if self.tracer.enabled:
+                self.tracer.lock_granted(txn, object_id, mode, "global",
+                                         info=entry.trace_info())
             self.directory.refresh_deadlock_edges(object_id)
             # A grant can complete a cycle for families already queued
             # behind this lock (reader preference), so re-check.
@@ -506,11 +508,17 @@ class LockManager:
             return
         if txn.lock_objects:
             self.tracer.lock_inherited(txn, parent, sorted(txn.lock_objects))
+        wakes = []
         for object_id in sorted(txn.lock_objects):
             entry = self.directory.entry(object_id)
             entry.release_to_parent(txn, parent)
-            for waiter in entry.pump(self.allow_recursive_reads):
-                waiter.wake.succeed(None)
+            wakes.extend(
+                waiter.wake
+                for waiter in entry.pump(self.allow_recursive_reads)
+            )
+        # Same-instant wakes ride one batched heap entry (FIFO order
+        # preserved — see Environment.succeed_all).
+        self.env.succeed_all(wakes)
 
     def _mutated_precommit_drop(self, txn: Transaction) -> None:
         """TEST-ONLY breakage (``skip-precommit-retention``): instead
@@ -538,6 +546,7 @@ class LockManager:
         dirty-page info.
         """
         freed: List[ObjectId] = []
+        wakes = []
         for object_id in sorted(txn.lock_objects):
             entry = self.directory.entry(object_id)
             family_gone = entry.release_on_abort(txn)
@@ -546,8 +555,11 @@ class LockManager:
                 # families get their grant message and cache update.
                 freed.append(object_id)
             else:
-                for waiter in entry.pump(self.allow_recursive_reads):
-                    waiter.wake.succeed(None)
+                wakes.extend(
+                    waiter.wake
+                    for waiter in entry.pump(self.allow_recursive_reads)
+                )
+        self.env.succeed_all(wakes)
         yield from self._global_release(
             node=txn.node, root_serial=txn.id.root, object_ids=freed,
             dirty={}, resident_versions={}, cause="sub-abort",
@@ -721,8 +733,7 @@ class LockManager:
                 immediate.append(waiter)  # family already held: local wake
             else:
                 by_site[waiter.txn.node].append(waiter)
-        for waiter in immediate:
-            waiter.wake.succeed(None)
+        self.env.succeed_all([waiter.wake for waiter in immediate])
         for site, waiters in sorted(by_site.items()):
             self.cache.on_granted(entry.object_id, site)
             grant = Message(
@@ -736,9 +747,9 @@ class LockManager:
             )
             delivery = self.network.send(grant)
 
-            def wake_all(_event, group=tuple(waiters), payload=snapshot):
-                for waiter in group:
-                    waiter.wake.succeed(payload)
+            def wake_all(_event, wakes=[w.wake for w in waiters],
+                         payload=snapshot):
+                self.env.succeed_all(wakes, payload)
 
             delivery.add_callback(wake_all)
 

@@ -175,3 +175,149 @@ class TestProcess:
         assert process.is_alive
         env.run()
         assert not process.is_alive
+
+
+class TestResumeRecovery:
+    """A generator that *catches* an injected exception and yields a
+    fresh event must re-attach to it (regression: the recovered yield
+    was silently dropped, stalling the process forever)."""
+
+    def test_catch_and_retry_after_non_event_yield(self, env):
+        def proc():
+            try:
+                yield "not-an-event"
+            except TypeError:
+                pass
+            got = yield env.timeout(1.0, value="recovered")
+            return got
+
+        assert env.run_process(proc()) == "recovered"
+        assert env.now == 1.0
+
+    def test_repeated_recovery_in_one_step(self, env):
+        def proc():
+            for bogus in (42, "still-not-an-event", object()):
+                try:
+                    yield bogus
+                except TypeError:
+                    pass
+            yield env.timeout(2.0)
+            return "done"
+
+        assert env.run_process(proc()) == "done"
+        assert env.now == 2.0
+
+    def test_unhandled_injection_still_fails_process(self, env):
+        def proc():
+            yield 42
+
+        with pytest.raises(TypeError, match="may only yield"):
+            env.run_process(proc())
+
+
+class TestInterrupt:
+    def test_interrupt_before_bootstrap(self, env):
+        def proc():
+            yield env.timeout(10.0)
+            return "finished"
+
+        process = env.process(proc())
+        process.interrupt(RuntimeError("early crash"))
+        env.run()
+        assert process.triggered and not process.ok
+        assert isinstance(process.value, RuntimeError)
+        assert str(process.value) == "early crash"
+
+    def test_interrupt_thrown_at_wait_point(self, env):
+        caught = []
+
+        def proc():
+            try:
+                yield env.timeout(10.0)
+            except RuntimeError as exc:
+                caught.append(str(exc))
+            return "survived"
+
+        process = env.process(proc())
+
+        def interrupter():
+            yield env.timeout(1.0)
+            process.interrupt(RuntimeError("crash"))
+
+        env.process(interrupter())
+        env.run()
+        assert caught == ["crash"]
+        assert process.ok and process.value == "survived"
+
+    def test_double_interrupt_first_wins(self, env):
+        """Regression: a second interrupt while the first's poison was
+        in flight re-queued the process and overwrote the exception —
+        the process resumed twice, the second exception shadowing the
+        first.  The poison path is one-shot now."""
+        caught = []
+
+        def proc():
+            try:
+                yield env.timeout(10.0)
+            except RuntimeError as exc:
+                caught.append(str(exc))
+            return len(caught)
+
+        process = env.process(proc())
+
+        def interrupter():
+            yield env.timeout(1.0)
+            process.interrupt(RuntimeError("first"))
+            process.interrupt(RuntimeError("second"))
+
+        env.process(interrupter())
+        env.run()
+        assert caught == ["first"]
+        assert process.ok and process.value == 1
+
+    def test_double_interrupt_before_bootstrap_first_wins(self, env):
+        def proc():
+            yield env.timeout(10.0)
+
+        process = env.process(proc())
+        process.interrupt(RuntimeError("first"))
+        process.interrupt(RuntimeError("second"))
+        env.run()
+        assert not process.ok
+        assert str(process.value) == "first"
+
+    def test_interrupt_after_trigger_is_noop(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            return "ok"
+
+        process = env.process(proc())
+        env.run()
+        process.interrupt(RuntimeError("late"))
+        assert process.ok and process.value == "ok"
+
+
+class TestRunUntilExits:
+    """Both ``run(until=...)`` exits — queue drained before ``until``,
+    and next event past ``until`` — must leave the clock clamped to
+    ``until`` and record the same ``events=`` count on the ``sim.run``
+    span."""
+
+    def _run(self, schedule_past_until: bool):
+        from repro.obs.tracer import Tracer
+
+        env = Environment()
+        env.tracer = Tracer(clock=lambda: env.now)
+        env.timeout(1.0)
+        env.timeout(2.0)
+        if schedule_past_until:
+            env.timeout(7.0)
+        returned = env.run(until=5.0)
+        span = [e for e in env.tracer.events if e.name == "sim.run"][-1]
+        return returned, env.now, span.args["events"]
+
+    def test_exit_paths_agree(self):
+        drained = self._run(schedule_past_until=False)
+        clamped = self._run(schedule_past_until=True)
+        assert drained == (5.0, 5.0, 2)
+        assert clamped == (5.0, 5.0, 2)

@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Measure raw DES engine speed (events/s) on the fig2 workload.
+
+The committed envelope (``benchmarks/baselines/BENCH_SPEED.json``) is
+the repo's speed trajectory: it records the pre-overhaul measurement
+(``pre_pr``), the current committed measurement (``baseline``), and the
+machine calibration that makes the two comparable across hosts.  CI
+re-measures on every build (``tools/check_baselines.py --only speed``)
+and fails on a >15% normalized events/s regression, the same way the
+message-count gates lock in the wire-budget claims.
+
+Speed never buys a behavior change: every invocation also re-runs the
+traced golden point (scale 0.1, seed 11 — the same point
+``tests/test_trace_golden.py`` pins) and cross-checks the trace SHA-256
+against the digest recorded in the envelope, so an "optimization" that
+perturbs the event schedule fails here before it can be committed.
+
+Usage:
+    PYTHONPATH=src python tools/bench_speed.py                 # measure + check
+    PYTHONPATH=src python tools/bench_speed.py --out X.json    # also write envelope
+    PYTHONPATH=src python tools/bench_speed.py --update        # rewrite baseline
+    PYTHONPATH=src python tools/bench_speed.py --record-pre-pr # pin pre_pr field
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks", "baselines", "BENCH_SPEED.json",
+)
+
+SCHEMA = 1
+
+#: The measurement point: one lotec run of the fig2 scenario.  The
+#: timing runs are untraced (the engine's production configuration);
+#: the behavior cross-check reruns the traced golden point below.
+POINT = {
+    "scenario": "medium-high",
+    "protocol": "lotec",
+    "seed": 11,
+    "num_nodes": 4,
+    "scale": 1.0,
+}
+
+#: Traced golden point — must match tests/test_trace_golden.py.
+TRACE_POINT = {"scale": 0.1, "seed": 11}
+
+
+def _build(scale: float, seed: int, trace: bool):
+    from repro.runtime.cluster import Cluster
+    from repro.runtime.config import ClusterConfig
+    from repro.workload.generator import generate_workload
+    from repro.workload.params import SCENARIOS
+
+    params = SCENARIOS[POINT["scenario"]].scaled(scale)
+    workload = generate_workload(params, seed=seed)
+    cluster = Cluster(ClusterConfig(
+        num_nodes=POINT["num_nodes"], protocol=POINT["protocol"], seed=seed,
+        audit_accesses=False, trace=trace,
+    ))
+    return cluster, workload
+
+
+def calibrate(iterations: int = 2_000_000) -> float:
+    """Ops/s of a fixed pure-Python loop: a rough single-core speed
+    index for the host, so committed events/s numbers transfer between
+    machines.  The gate compares *normalized* events/s (events per
+    calibration op), not raw wall clock."""
+    best = 0.0
+    for _ in range(3):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(iterations):
+            acc += i & 7
+        elapsed = time.perf_counter() - start
+        best = max(best, iterations / elapsed)
+    return best
+
+
+def measure_speed(scale: float, repeats: int):
+    """Best-of-``repeats`` untraced fig2 run; returns the measurement
+    dict (events, wall_s, events_per_s of the fastest repeat)."""
+    from repro.workload.runner import run_workload
+
+    best = None
+    for _ in range(repeats):
+        cluster, workload = _build(scale, POINT["seed"], trace=False)
+        start = time.perf_counter()
+        run_workload(cluster, workload)
+        wall = time.perf_counter() - start
+        events = cluster.env.events_processed
+        if best is None or wall < best["wall_s"]:
+            best = {
+                "events": events,
+                "wall_s": round(wall, 4),
+                "events_per_s": round(events / wall, 1),
+            }
+    return best
+
+
+def measure_trace_digest():
+    """SHA-256 of the traced golden-point run (behavior fingerprint)."""
+    from repro.obs.export import events_to_jsonl
+    from repro.workload.runner import run_workload
+
+    cluster, workload = _build(TRACE_POINT["scale"], TRACE_POINT["seed"],
+                               trace=True)
+    run = run_workload(cluster, workload)
+    jsonl = events_to_jsonl(cluster.tracer.events)
+    return {
+        "sha256": hashlib.sha256(jsonl.encode("utf-8")).hexdigest(),
+        "events": len(cluster.tracer.events),
+        "commits": run.committed,
+        **TRACE_POINT,
+    }
+
+
+def load_baseline():
+    if not os.path.exists(BASELINE_PATH):
+        return None
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_baseline(envelope) -> None:
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=POINT["scale"],
+                        help="workload scale for the timing runs "
+                             "(the committed baseline is pinned at its "
+                             "own scale; comparisons require equality)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; the fastest one is kept")
+    parser.add_argument("--out", help="write the measurement envelope here")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline measurement")
+    parser.add_argument("--record-pre-pr", action="store_true",
+                        help="pin this measurement as the envelope's "
+                             "pre-overhaul reference point")
+    parser.add_argument("--skip-trace-check", action="store_true",
+                        help="skip the golden-trace byte-identity check "
+                             "(first capture only)")
+    args = parser.parse_args(argv)
+
+    cal = calibrate()
+    speed = measure_speed(args.scale, args.repeats)
+    speed["scale"] = args.scale
+    speed["normalized"] = round(speed["events_per_s"] / cal, 6)
+    print(f"fig2 @ scale {args.scale}: {speed['events']} events in "
+          f"{speed['wall_s']}s = {speed['events_per_s']} events/s "
+          f"(calibration {cal:,.0f} ops/s, normalized {speed['normalized']})")
+
+    envelope = load_baseline() or {
+        "schema": SCHEMA, "benchmark": "speed-fig2", "point": dict(POINT),
+        "min_speedup_vs_pre_pr": 3.0, "max_regression": 0.15,
+    }
+
+    trace = measure_trace_digest()
+    expected = envelope.get("trace_check", {}).get("sha256")
+    if expected is None or args.skip_trace_check:
+        envelope["trace_check"] = trace
+        print(f"trace fingerprint captured: {trace['sha256'][:16]}… "
+              f"({trace['events']} events, {trace['commits']} commits)")
+    elif trace["sha256"] != expected:
+        print(f"BEHAVIOR CHANGE: golden-point trace digest "
+              f"{trace['sha256']} != committed {expected}; the engine no "
+              f"longer produces a byte-identical schedule.", file=sys.stderr)
+        return 1
+    else:
+        print(f"trace byte-identity ok: {trace['sha256'][:16]}… "
+              f"({trace['events']} events, {trace['commits']} commits)")
+
+    if args.record_pre_pr:
+        envelope["pre_pr"] = speed
+        envelope["calibration_ops_per_s"] = round(cal, 1)
+        write_baseline(envelope)
+        print(f"pre-PR measurement pinned: {BASELINE_PATH}")
+        return 0
+
+    if args.update:
+        envelope["baseline"] = speed
+        envelope["calibration_ops_per_s"] = round(cal, 1)
+        pre = envelope.get("pre_pr")
+        if pre and pre.get("normalized"):
+            envelope["speedup_vs_pre_pr"] = round(
+                speed["normalized"] / pre["normalized"], 2
+            )
+            print(f"speedup vs pre-PR: {envelope['speedup_vs_pre_pr']}x "
+                  f"(normalized)")
+        write_baseline(envelope)
+        print(f"baseline updated: {BASELINE_PATH}")
+
+    if args.out:
+        measurement = {
+            "schema": SCHEMA, "benchmark": "speed-fig2",
+            "point": dict(POINT, scale=args.scale),
+            "measured": speed, "calibration_ops_per_s": round(cal, 1),
+            "trace_check": trace,
+        }
+        out_dir = os.path.dirname(os.path.abspath(args.out))
+        os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(measurement, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"measurement written: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

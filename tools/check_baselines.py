@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Unified baseline gate: wire budgets, locality claim, engine speed.
+
+One entry point for every committed benchmark envelope, so CI and
+developers run the same command:
+
+* ``--only messages`` — per-protocol ``PAGE_REQUEST`` / total message
+  counts vs ``benchmarks/baselines/claims_messages.json``.  Any
+  increase fails.
+* ``--only locality`` — remote directory traffic, static vs adaptive
+  GDO migration, vs ``benchmarks/baselines/claims_locality.json``
+  (including the ``min_reduction`` headline floor).
+* ``--only speed`` — normalized engine events/s on the fig2 point vs
+  ``benchmarks/baselines/BENCH_SPEED.json``.  Fails on a >15%
+  normalized regression against the committed baseline, if the
+  committed ≥3x speedup over the pre-overhaul measurement no longer
+  holds, or if the traced golden-point digest changed (an
+  "optimization" that perturbs the event schedule is a behavior
+  change, not a speedup).
+
+``--only`` may be repeated; with no ``--only`` every gate runs.
+``--update`` rewrites the selected envelopes from this run instead of
+checking.  ``tools/check_message_baseline.py`` remains as a
+back-compat shim covering the messages + locality pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_speed  # noqa: E402
+from check_message_baseline import check_locality, check_messages  # noqa: E402
+
+GATES = ("messages", "locality", "speed")
+
+
+def check_speed(update: bool) -> list:
+    """Re-measure fig2 events/s and gate it against the envelope."""
+    envelope = bench_speed.load_baseline()
+    if envelope is None:
+        return ["speed: no committed baseline "
+                "(capture one with tools/bench_speed.py --update)"]
+
+    failures = []
+    trace = bench_speed.measure_trace_digest()
+    expected = envelope.get("trace_check", {}).get("sha256")
+    if expected is not None and trace["sha256"] != expected:
+        # Behavior drift gates even an --update: a changed schedule
+        # must be re-blessed via the golden-trace tests first.
+        return [
+            f"speed.trace: golden-point digest {trace['sha256']} != "
+            f"committed {expected} (event schedule changed; fix the "
+            "behavior or re-bless tests/test_trace_golden.py first)"
+        ]
+    print(f"ok: speed.trace digest {trace['sha256'][:16]}… "
+          f"({trace['events']} events, {trace['commits']} commits)")
+
+    committed = envelope.get("baseline")
+    scale = committed["scale"] if committed else bench_speed.POINT["scale"]
+    cal = bench_speed.calibrate()
+    speed = bench_speed.measure_speed(scale, repeats=3)
+    speed["scale"] = scale
+    speed["normalized"] = round(speed["events_per_s"] / cal, 6)
+    print(f"speed: {speed['events']} events in {speed['wall_s']}s = "
+          f"{speed['events_per_s']} events/s "
+          f"(normalized {speed['normalized']})")
+
+    if update:
+        envelope["baseline"] = speed
+        envelope["calibration_ops_per_s"] = round(cal, 1)
+        pre = envelope.get("pre_pr")
+        if pre and pre.get("normalized"):
+            envelope["speedup_vs_pre_pr"] = round(
+                speed["normalized"] / pre["normalized"], 2
+            )
+        bench_speed.write_baseline(envelope)
+        print(f"baseline updated: {bench_speed.BASELINE_PATH}")
+        return []
+
+    if committed is None:
+        return ["speed: envelope has no 'baseline' measurement "
+                "(run tools/bench_speed.py --update)"]
+    max_regression = envelope.get("max_regression", 0.15)
+    floor = committed["normalized"] * (1.0 - max_regression)
+    if speed["normalized"] < floor:
+        failures.append(
+            f"speed.normalized: {speed['normalized']} < {floor:.6f} "
+            f"(committed {committed['normalized']} minus "
+            f"{max_regression:.0%} tolerance)"
+        )
+    else:
+        print(f"ok: speed.normalized = {speed['normalized']} "
+              f"(committed {committed['normalized']}, "
+              f"floor {floor:.6f})")
+    pre = envelope.get("pre_pr")
+    min_speedup = envelope.get("min_speedup_vs_pre_pr")
+    if pre and pre.get("normalized") and min_speedup:
+        speedup = speed["normalized"] / pre["normalized"]
+        if speedup < min_speedup:
+            failures.append(
+                f"speed.speedup_vs_pre_pr: {speedup:.2f}x < required "
+                f"{min_speedup}x (the committed trajectory regressed)"
+            )
+        else:
+            print(f"ok: speed.speedup_vs_pre_pr = {speedup:.2f}x "
+                  f"(floor {min_speedup}x)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the selected envelopes from this run")
+    parser.add_argument("--only", action="append", choices=GATES,
+                        help="run only the named gate(s); repeatable")
+    args = parser.parse_args(argv)
+    gates = tuple(args.only) if args.only else GATES
+
+    failures = []
+    if "messages" in gates:
+        failures += check_messages(args.update)
+    if "locality" in gates:
+        failures += check_locality(args.update)
+    if "speed" in gates:
+        failures += check_speed(args.update)
+
+    if failures:
+        print("baseline regression:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("If the change is intentional, regenerate with "
+              "tools/check_baselines.py --update "
+              f"--only {' --only '.join(gates)}", file=sys.stderr)
+        return 1
+    if not args.update:
+        print(f"baselines within envelopes: {', '.join(gates)}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
