@@ -17,9 +17,15 @@ and the prediction-accuracy ablation need.
 """
 
 from repro.analysis.ast_analysis import ALL_ATTRIBUTES, AccessSets, analyze_method
+from repro.analysis.commutativity import (
+    CommutativityTable,
+    MethodSummary,
+    build_commutativity,
+)
 from repro.analysis.invocations import (
     UNKNOWN_INVOCATIONS,
     analyze_invocations,
+    invocation_names,
     may_invoke,
 )
 from repro.analysis.prediction import AccessPrediction, PredictionStats, predict
@@ -29,8 +35,12 @@ __all__ = [
     "AccessSets",
     "analyze_method",
     "AccessPrediction",
+    "CommutativityTable",
+    "MethodSummary",
+    "build_commutativity",
     "UNKNOWN_INVOCATIONS",
     "analyze_invocations",
+    "invocation_names",
     "may_invoke",
     "PredictionStats",
     "predict",

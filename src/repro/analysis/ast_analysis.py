@@ -13,6 +13,14 @@ Rules:
 * ``self.x += ...``                 -> read and write of ``x``
 * ``self.x[i]`` load / store        -> read / write of ``x`` (whole
   attribute: element indices are run-time values)
+
+On top of the read/write sets the analysis classifies *blind
+increments*: attributes accessed **only** through ``+=`` / ``-=`` on
+``self.x`` itself (never loaded, stored, deleted, or subscripted
+anywhere on any path, including transitively called helpers).  Such
+updates commute with each other — the basis for the semantic lock
+modes of :mod:`repro.analysis.commutativity`.  Any other access to the
+attribute demotes it back to an ordinary read/write.
 * ``self.m(...)`` where ``m`` is another method of the same class
   -> union of ``m``'s access sets (transitively, cycles handled)
 * ``getattr(self, ...)`` / ``setattr(self, ...)`` / ``vars(self)`` or
@@ -60,10 +68,20 @@ def _union(a: AttrSet, b: AttrSet) -> AttrSet:
 
 @dataclass(frozen=True)
 class AccessSets:
-    """Result of analyzing one method: may-read and may-write sets."""
+    """Result of analyzing one method: may-read and may-write sets.
+
+    ``increments`` is the subset of ``writes`` accessed *only* as blind
+    ``+=``/``-=`` increments (always concrete — never the ALL
+    sentinel).  ``exact`` records whether the analysis ran to
+    completion; unlike the structural :attr:`is_exact` it is sticky
+    through :meth:`resolve` (which erases the ALL sentinel), so the
+    commutativity trust tiers can still see that a method degraded.
+    """
 
     reads: AttrSet
     writes: AttrSet
+    increments: FrozenSet[str] = frozenset()
+    exact: bool = True
 
     @property
     def accessed(self) -> AttrSet:
@@ -72,15 +90,18 @@ class AccessSets:
 
     @property
     def is_exact(self) -> bool:
-        """False when the analysis had to give up (ALL_ATTRIBUTES)."""
-        return self.reads is not ALL_ATTRIBUTES and self.writes is not ALL_ATTRIBUTES
+        """False while a set still carries the ALL sentinel."""
+        return (self.reads is not ALL_ATTRIBUTES
+                and self.writes is not ALL_ATTRIBUTES)
 
     def resolve(self, all_names) -> "AccessSets":
         """Replace the ALL sentinel with the concrete attribute set."""
         names = frozenset(all_names)
         reads = names if self.reads is ALL_ATTRIBUTES else frozenset(self.reads) & names
         writes = names if self.writes is ALL_ATTRIBUTES else frozenset(self.writes) & names
-        return AccessSets(reads=reads, writes=writes)
+        return AccessSets(reads=reads, writes=writes,
+                          increments=frozenset(self.increments) & names,
+                          exact=self.exact and self.is_exact)
 
 
 _ESCAPE_READ_BUILTINS = {"getattr", "vars", "hasattr"}
@@ -97,6 +118,13 @@ class _SelfAccessVisitor(ast.NodeVisitor):
         self.called_methods: Set[str] = set()
         self.reads_all = False
         self.writes_all = False
+        # Blind-increment classification: attrs updated via +=/-= on
+        # ``self.attr`` itself, and attrs *observed* any other way.
+        # increments = candidates - observed (composed transitively in
+        # analyze_method, so a helper's plain read demotes a caller's
+        # increment too).
+        self.increment_candidates: Set[str] = set()
+        self.observed: Set[str] = set()
 
     # -- attribute access ----------------------------------------------------
 
@@ -107,8 +135,10 @@ class _SelfAccessVisitor(ast.NodeVisitor):
         if self._is_self(node.value):
             if isinstance(node.ctx, ast.Load):
                 self.reads.add(node.attr)
+                self.observed.add(node.attr)
             elif isinstance(node.ctx, (ast.Store, ast.Del)):
                 self.writes.add(node.attr)
+                self.observed.add(node.attr)
         else:
             self.visit(node.value)
         # Never descend into node.value when it is bare self (handled).
@@ -120,6 +150,12 @@ class _SelfAccessVisitor(ast.NodeVisitor):
         if isinstance(target, ast.Attribute) and self._is_self(target.value):
             self.reads.add(target.attr)
             self.writes.add(target.attr)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                # The read feeds only the delta: a blind increment,
+                # unless some other access observes the attribute.
+                self.increment_candidates.add(target.attr)
+            else:
+                self.observed.add(target.attr)
         elif (
             isinstance(target, ast.Subscript)
             and isinstance(target.value, ast.Attribute)
@@ -127,6 +163,9 @@ class _SelfAccessVisitor(ast.NodeVisitor):
         ):
             self.reads.add(target.value.attr)
             self.writes.add(target.value.attr)
+            # Element-level increments are not tracked (indices are
+            # run-time values): the whole attribute counts as observed.
+            self.observed.add(target.value.attr)
             self.visit(target.slice)
         else:
             self.visit(target)
@@ -141,6 +180,7 @@ class _SelfAccessVisitor(ast.NodeVisitor):
                 self.writes.add(node.value.attr)
             else:
                 self.reads.add(node.value.attr)
+            self.observed.add(node.value.attr)
             self.visit(node.slice)
         else:
             self.generic_visit(node)
@@ -165,6 +205,7 @@ class _SelfAccessVisitor(ast.NodeVisitor):
             # reads which is the right conservative answer.
             self.called_methods.add(func.attr)
             self.reads.add(func.attr)
+            self.observed.add(func.attr)
             for arg in node.args:
                 self.visit(arg)
             for keyword in node.keywords:
@@ -185,6 +226,12 @@ class _RawAnalysis:
     reads: AttrSet
     writes: AttrSet
     called_methods: FrozenSet[str] = field(default_factory=frozenset)
+    # Blind-increment classification, composed across helper calls:
+    # increments = increment_candidates - observed.  ``observed`` is
+    # ALL_ATTRIBUTES whenever the analysis gave up, which correctly
+    # empties the increment set.
+    increment_candidates: FrozenSet[str] = frozenset()
+    observed: AttrSet = frozenset()
 
 
 def _analyze_single(func: Callable) -> _RawAnalysis:
@@ -193,14 +240,16 @@ def _analyze_single(func: Callable) -> _RawAnalysis:
         source = textwrap.dedent(inspect.getsource(func))
         tree = ast.parse(source)
     except (OSError, TypeError, SyntaxError):
-        return _RawAnalysis(reads=ALL_ATTRIBUTES, writes=ALL_ATTRIBUTES)
+        return _RawAnalysis(reads=ALL_ATTRIBUTES, writes=ALL_ATTRIBUTES,
+                            observed=ALL_ATTRIBUTES)
     func_defs = [
         node
         for node in ast.walk(tree)
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
     ]
     if not func_defs:
-        return _RawAnalysis(reads=ALL_ATTRIBUTES, writes=ALL_ATTRIBUTES)
+        return _RawAnalysis(reads=ALL_ATTRIBUTES, writes=ALL_ATTRIBUTES,
+                            observed=ALL_ATTRIBUTES)
     func_def = func_defs[0]
     params = func_def.args.args
     if not params:
@@ -210,8 +259,15 @@ def _analyze_single(func: Callable) -> _RawAnalysis:
         visitor.visit(statement)
     reads: AttrSet = ALL_ATTRIBUTES if visitor.reads_all else frozenset(visitor.reads)
     writes: AttrSet = ALL_ATTRIBUTES if visitor.writes_all else frozenset(visitor.writes)
+    observed: AttrSet = (
+        ALL_ATTRIBUTES if (visitor.reads_all or visitor.writes_all)
+        else frozenset(visitor.observed)
+    )
     return _RawAnalysis(
-        reads=reads, writes=writes, called_methods=frozenset(visitor.called_methods)
+        reads=reads, writes=writes,
+        called_methods=frozenset(visitor.called_methods),
+        increment_candidates=frozenset(visitor.increment_candidates),
+        observed=observed,
     )
 
 
@@ -234,6 +290,8 @@ def analyze_method(func: Callable,
 
     reads: AttrSet = frozenset()
     writes: AttrSet = frozenset()
+    candidates: FrozenSet[str] = frozenset()
+    observed: AttrSet = frozenset()
     pending = [func]
     visited = set()
     while pending:
@@ -244,6 +302,8 @@ def analyze_method(func: Callable,
         result = raw(current)
         reads = _union(reads, result.reads)
         writes = _union(writes, result.writes)
+        candidates = candidates | result.increment_candidates
+        observed = _union(observed, result.observed)
         for name in result.called_methods:
             callee = class_methods.get(name)
             if callee is not None:
@@ -251,4 +311,10 @@ def analyze_method(func: Callable,
             # Unknown self.<name>(...) targets already contributed
             # `name` to the read set; a data attribute called as a
             # function is a user bug, not an analysis hole.
-    return AccessSets(reads=reads, writes=writes)
+    if observed is ALL_ATTRIBUTES:
+        increments: FrozenSet[str] = frozenset()
+    else:
+        increments = candidates - frozenset(observed)
+    exact = reads is not ALL_ATTRIBUTES and writes is not ALL_ATTRIBUTES
+    return AccessSets(reads=reads, writes=writes, increments=increments,
+                      exact=exact)

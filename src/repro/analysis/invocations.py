@@ -102,3 +102,15 @@ def may_invoke(invocations: InvocationSet) -> bool:
     if invocations is UNKNOWN_INVOCATIONS:
         return True
     return bool(invocations)
+
+
+def invocation_names(invocations: InvocationSet) -> tuple:
+    """Stable, serializable rendering of an invocation set.
+
+    Used by the commutativity-table artifact: a sorted name tuple, or
+    ``("?",)`` when the set is :data:`UNKNOWN_INVOCATIONS` or was never
+    analyzed (the table must still record that the method *may*
+    invoke)."""
+    if invocations is None or invocations is UNKNOWN_INVOCATIONS:
+        return ("?",)
+    return tuple(sorted(invocations))

@@ -55,6 +55,7 @@ class FuzzTask:
     scale: float = 0.25
     nodes: int = 4
     migration: bool = False           # adaptive GDO home migration
+    semantic: bool = False            # commutativity-based lock modes
     mutate: Tuple[str, ...] = ()      # test-only LockManager mutations
 
     def describe(self) -> str:
@@ -65,6 +66,8 @@ class FuzzTask:
         ]
         if self.migration:
             parts.append("migration")
+        if self.semantic:
+            parts.append("semantic")
         if self.mutate:
             parts.append(f"mutate={','.join(self.mutate)}")
         return " ".join(parts)
@@ -119,6 +122,7 @@ def build_config(task: FuzzTask) -> ClusterConfig:
         # Default policy knobs: eager enough to actually migrate at
         # fuzz scale, so the checkers exercise moved entries.
         migration=MigrationConfig() if task.migration else None,
+        semantic_locks=task.semantic,
     )
 
 
@@ -194,6 +198,8 @@ def repro_command(task: FuzzTask) -> str:
     ]
     if task.migration:
         parts.append("--migration")
+    if task.semantic:
+        parts.append("--semantic")
     if task.mutate:
         parts.append(f"--mutate {','.join(task.mutate)}")
     return " ".join(parts)

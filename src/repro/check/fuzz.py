@@ -89,6 +89,7 @@ def run_campaign(
     scale: float = 0.25,
     nodes: int = 4,
     migration: bool = False,
+    semantic: bool = False,
     mutate: Tuple[str, ...] = (),
     out_dir: Optional[str] = None,
     minimize_failures: bool = True,
@@ -114,7 +115,8 @@ def run_campaign(
                 task = FuzzTask(
                     seed=seed, protocol=protocol, preset=preset,
                     policy=policy, scenario=scenario, scale=scale,
-                    nodes=nodes, migration=migration, mutate=mutate,
+                    nodes=nodes, migration=migration, semantic=semantic,
+                    mutate=mutate,
                 )
                 report = run_task(task)
                 result.tasks_run += 1

@@ -31,15 +31,21 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.check.events import (
+    SemanticConflicts,
     Violation,
     TxnRef,
     event_dicts,
+    join_mode_strings,
     lineage_of,
-    modes_conflict,
     parse_object,
     parse_txn,
-    strongest_mode,
 )
+
+
+def _joined(existing: Optional[str], mode: str) -> str:
+    """Fold a grant into a tracked mode, keeping semantic identity on
+    equal modes (plain runs see exactly the old strongest-mode fold)."""
+    return mode if existing is None else join_mode_strings(existing, mode)
 
 #: Grant-shaped lock events: (name prefix, grant predicate).
 def _iter_grants(events):
@@ -64,6 +70,7 @@ def check_single_writer(events) -> List[Violation]:
     """Family-granularity single-writer / multi-reader exclusion."""
     events = event_dicts(events)
     violations: List[Violation] = []
+    conflicts = SemanticConflicts.from_events(events)
     # Per object: family root -> strongest mode present (held/retained).
     present: Dict[int, Dict[int, str]] = {}
     grants = {index: (ts, args, mode)
@@ -80,15 +87,13 @@ def check_single_writer(events) -> List[Violation]:
             for other, other_mode in sorted(families.items()):
                 if other == txn.root:
                     continue
-                if modes_conflict(other_mode, mode):
+                if conflicts.conflict(other_mode, mode):
                     violations.append(Violation(
                         "invariant.single-writer", index, ts,
                         f"O{obj}: family {txn.root} granted {mode} while "
                         f"family {other} is present with {other_mode}",
                     ))
-            families[txn.root] = strongest_mode(
-                families.get(txn.root, "R"), mode
-            )
+            families[txn.root] = _joined(families.get(txn.root), mode)
         elif name == "lock.release":
             root = args.get("root")
             for oname in args.get("objects", ()):
@@ -114,6 +119,7 @@ def check_retained_descendants(events) -> List[Violation]:
     """
     events = event_dicts(events)
     violations: List[Violation] = []
+    conflicts = SemanticConflicts.from_events(events)
     # Per object: transaction -> held / retained mode.
     holds: Dict[int, Dict[TxnRef, str]] = {}
     retains: Dict[int, Dict[TxnRef, str]] = {}
@@ -152,7 +158,7 @@ def check_retained_descendants(events) -> List[Violation]:
                 ):
                     if retainer == txn or retainer.serial in ancestors:
                         continue
-                    if not modes_conflict(retained_mode, grant_mode):
+                    if not conflicts.conflict(retained_mode, grant_mode):
                         continue
                     violations.append(Violation(
                         "invariant.retained-descendants", index, ts,
@@ -161,13 +167,11 @@ def check_retained_descendants(events) -> List[Violation]:
                         f"({retained_mode}) and is not an ancestor",
                     ))
                 if name.startswith("lock.prefetch "):
-                    retains.setdefault(obj, {})[txn] = strongest_mode(
-                        retains.get(obj, {}).get(txn, "R"), grant_mode
-                    )
+                    table = retains.setdefault(obj, {})
+                    table[txn] = _joined(table.get(txn), grant_mode)
                 else:
-                    holds.setdefault(obj, {})[txn] = strongest_mode(
-                        holds.get(obj, {}).get(txn, "R"), grant_mode
-                    )
+                    table = holds.setdefault(obj, {})
+                    table[txn] = _joined(table.get(txn), grant_mode)
             elif name == "lock.inherit":
                 txn = parse_txn(args["txn"])
                 parent = parse_txn(args["parent"])
@@ -176,10 +180,14 @@ def check_retained_descendants(events) -> List[Violation]:
                     held = holds.setdefault(obj, {}).pop(txn, None)
                     table = retains.setdefault(obj, {})
                     retained = table.pop(txn, None)
-                    moved = strongest_mode(held or "R", retained or "R")
-                    table[parent] = strongest_mode(
-                        table.get(parent, "R"), moved
-                    )
+                    moved = [m for m in (held, retained) if m is not None]
+                    if moved:
+                        mode = moved[0]
+                        for extra in moved[1:]:
+                            mode = join_mode_strings(mode, extra)
+                    else:
+                        mode = "R"
+                    table[parent] = _joined(table.get(parent), mode)
             elif name == "lock.release":
                 drop_family(args.get("root"),
                             [parse_object(o)
@@ -238,6 +246,7 @@ def check_commit_order(events) -> List[Violation]:
     """
     events = event_dicts(events)
     violations: List[Violation] = []
+    conflicts = SemanticConflicts.from_events(events)
     commit_pos: Dict[int, int] = {}
     for index, event in enumerate(events):
         if event.get("category") != "txn" or event.get("phase") != "X":
@@ -261,7 +270,7 @@ def check_commit_order(events) -> List[Violation]:
             for _, earlier_root, earlier_mode, _ in grants[:position]:
                 if earlier_root == root:
                     continue
-                if not modes_conflict(earlier_mode, mode):
+                if not conflicts.conflict(earlier_mode, mode):
                     continue
                 if commit_pos[earlier_root] > commit_pos[root]:
                     violations.append(Violation(

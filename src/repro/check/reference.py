@@ -42,14 +42,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.check.events import (
+    SemanticConflicts,
     Violation,
     TxnRef,
+    base_mode,
     event_dicts,
+    join_mode_strings,
     lineage_of,
-    modes_conflict,
     parse_object,
     parse_txn,
-    strongest_mode,
 )
 
 
@@ -61,6 +62,9 @@ class ReferenceModel:
         # Per object: transaction -> held / retained mode.
         self._holds: Dict[int, Dict[TxnRef, str]] = {}
         self._retains: Dict[int, Dict[TxnRef, str]] = {}
+        # Conflict relation; plain single-writer until the stream's
+        # honest lock.commtable artifacts register commuting pairs.
+        self._conflicts = SemanticConflicts()
         self.violations: List[Violation] = []
 
     # ------------------------------------------------------------------
@@ -87,6 +91,8 @@ class ReferenceModel:
                 args.get("outcome") == "granted"
             ):
                 self._on_prefetch(index, ts, args)
+            elif name == "lock.commtable":
+                self._conflicts.add_table(args.get("table", {}))
             elif name == "lock.inherit":
                 self._on_inherit(index, ts, args)
             elif name == "lock.release":
@@ -107,27 +113,37 @@ class ReferenceModel:
         ancestors = set(lineage_of(args))
         holds = self._holds.setdefault(obj, {})
         retains = self._retains.setdefault(obj, {})
+        mode = mode or "W"
         held = holds.get(txn)
         if held is not None:
-            # Re-entrant: W covers everything, equal mode is free.
-            if held == "W" or mode == held:
+            # Re-entrant: a grant the held mode already covers is free
+            # (equal modes keep their semantic identity; W covers R).
+            joined = join_mode_strings(held, mode)
+            if joined == held:
                 return
-            # R -> W upgrade: legal only as the sole holder.
-            others = [h for h in holds if h != txn]
+            # Upgrade: legal only while no other holder conflicts with
+            # the joined mode (plain case: sole holder).
+            others = [
+                h for h, m in holds.items()
+                if h != txn and self._conflicts.conflict(joined, m)
+            ]
             if others:
                 self.violations.append(Violation(
                     "reference.upgrade", index, ts,
-                    f"{txn!r} upgraded {self._oname(obj)} R->W while "
-                    f"{sorted(map(repr, others))} still hold it",
+                    f"{txn!r} upgraded {self._oname(obj)} {held}->{joined} "
+                    f"while {sorted(map(repr, others))} still hold it in "
+                    f"conflicting modes",
                 ))
-            holds[txn] = "W"
+            holds[txn] = joined
             return
         for holder, holder_mode in sorted(holds.items()):
             if holder == txn:
                 continue
             if holder.serial in ancestors:
                 # §3.4: an ancestor holds the lock the sub now takes.
-                if modes_conflict(holder_mode, mode or "W") or (
+                # Recursion is judged on the plain base lattice —
+                # commutativity never excuses self-deadlock.
+                if ("W" in (base_mode(holder_mode), base_mode(mode))) or (
                     not self.allow_recursive_reads
                 ):
                     self.violations.append(Violation(
@@ -136,7 +152,7 @@ class ReferenceModel:
                         f"ancestor {holder!r} holds it ({holder_mode}) — "
                         f"§3.4 precludes recursive invocation",
                     ))
-            elif modes_conflict(holder_mode, mode or "W"):
+            elif self._conflicts.conflict(holder_mode, mode):
                 self.violations.append(Violation(
                     "reference.conflict", index, ts,
                     f"{txn!r} granted {self._oname(obj)} ({mode}) while "
@@ -146,15 +162,18 @@ class ReferenceModel:
         for retainer, retained_mode in sorted(retains.items()):
             if retainer == txn or retainer.serial in ancestors:
                 continue  # Moss: the retainer and its descendants may enter
-            if not modes_conflict(retained_mode, mode or "W"):
-                continue  # read retention does not exclude foreign readers
+            if not self._conflicts.conflict(retained_mode, mode):
+                # Read retention does not exclude foreign readers, and
+                # a retained semantic mode does not exclude commuting
+                # foreign invocations.
+                continue
             self.violations.append(Violation(
                 "reference.retention", index, ts,
                 f"{txn!r} granted {self._oname(obj)} ({mode}) while "
                 f"{retainer!r} retains it ({retained_mode}) and is not "
                 f"an ancestor of the requester",
             ))
-        holds[txn] = mode or "W"
+        holds[txn] = mode
 
     def _on_prefetch(self, index: int, ts: float, args: Dict) -> None:
         # A granted prefetch is a grant immediately demoted to retained
@@ -167,7 +186,10 @@ class ReferenceModel:
         holds = self._holds.setdefault(obj, {})
         retains = self._retains.setdefault(obj, {})
         holds.pop(txn, None)
-        retains[txn] = strongest_mode(retains.get(txn, "R"), mode)
+        existing = retains.get(txn)
+        retains[txn] = mode if existing is None else join_mode_strings(
+            existing, mode
+        )
 
     # ------------------------------------------------------------------
     # Inheritance and release
@@ -196,10 +218,15 @@ class ReferenceModel:
                 continue
             mode = moved[0]
             for extra in moved[1:]:
-                mode = strongest_mode(mode, extra)
+                mode = join_mode_strings(mode, extra)
             # The parent *retains* the inherited lock (Algorithm 4.3);
-            # a lock it also holds in its own right stays held.
-            retains[parent] = strongest_mode(retains.get(parent, "R"), mode)
+            # a lock it also holds in its own right stays held.  Equal
+            # semantic modes keep their tag through retention — that is
+            # what lets commuting foreign invocations keep flowing.
+            existing = retains.get(parent)
+            retains[parent] = mode if existing is None else (
+                join_mode_strings(existing, mode)
+            )
 
     def _on_release(self, root: Optional[int], objects) -> None:
         # Global release of a family on the listed objects.  Removing a

@@ -303,6 +303,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--migration", action="store_true",
                       help="enable adaptive GDO home migration in "
                            "every task")
+    fuzz.add_argument("--semantic", action="store_true",
+                      help="enable commutativity-based semantic lock "
+                           "modes in every task")
     fuzz.add_argument("--recovery", action="store_true",
                       help="add the crash-recovery presets "
                            "(crash-failover, partition, crash-partition, "
@@ -681,7 +684,7 @@ def _cmd_fuzz(args) -> int:
         seeds=args.seeds, seed_base=args.seed_base,
         protocols=protocols, presets=presets, policies=policies,
         scenario=args.scenario, scale=args.scale, nodes=args.nodes,
-        migration=args.migration,
+        migration=args.migration, semantic=args.semantic,
         mutate=tuple(_split_csv(args.mutate)), out_dir=args.trace_dir,
         minimize_failures=not args.no_minimize,
         stop_on_failure=args.stop_on_failure,

@@ -8,14 +8,18 @@ every new wait edge, and abort the *youngest* family in the cycle (the
 one whose root has the highest serial — it has done the least work).
 
 Nodes of the graph are root serials.  Edges are derived per directory
-entry — "every family queued on entry e waits for every family that
-holds or retains e" — and refreshed whenever an entry's holder set or
-waiter set changes, so ownership handoffs never leave stale edges.
+entry and keyed by *conflict*, not by mere co-presence: each waiting
+family's edge set is exactly the holder/retainer families whose modes
+its head request conflicts with
+(:meth:`repro.gdo.entry.DirectoryEntry.waits_for_edges`), so two
+semantically commuting holders never contribute a spurious cycle.
+Edges are refreshed whenever an entry's holder set or waiter set
+changes, so ownership handoffs never leave stale edges.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set
 
 from repro.util.ids import ObjectId
 
@@ -24,8 +28,8 @@ class DeadlockDetector:
     """Family-granularity waits-for graph with cycle search."""
 
     def __init__(self) -> None:
-        # entry -> (waiting family roots, blocking family roots)
-        self._entry_waits: Dict[ObjectId, tuple] = {}
+        # entry -> {waiting family root -> blocking family roots}
+        self._entry_waits: Dict[ObjectId, Dict[int, FrozenSet[int]]] = {}
         # Lazily materialized adjacency, shared by every find_cycle
         # call until the next entry refresh.  The deadlock check runs
         # once per *blocked family* per edge change; without the cache
@@ -44,13 +48,22 @@ class DeadlockDetector:
         self._sorted_targets: Dict[int, List[int]] = {}
 
     def update_entry(self, object_id: ObjectId,
-                     waiting: FrozenSet[int], blocking: FrozenSet[int]) -> None:
-        """Refresh the wait edges contributed by one directory entry."""
-        if not waiting or not blocking:
+                     edges: Mapping[int, FrozenSet[int]]) -> None:
+        """Refresh the wait edges contributed by one directory entry.
+
+        ``edges`` maps each waiting family root to the roots actually
+        blocking it on this entry (conflict-keyed, self-edges pruned
+        here).  Waiters with no blockers contribute nothing."""
+        pruned = {
+            waiter: frozenset(blocking) - {waiter}
+            for waiter, blocking in edges.items()
+            if frozenset(blocking) - {waiter}
+        }
+        if not pruned:
             if self._entry_waits.pop(object_id, None) is not None:
                 self._adjacency = None
             return
-        self._entry_waits[object_id] = (frozenset(waiting), frozenset(blocking))
+        self._entry_waits[object_id] = pruned
         self._adjacency = None
 
     def clear_entry(self, object_id: ObjectId) -> None:
@@ -66,10 +79,16 @@ class DeadlockDetector:
         as a victim of a ghost.
         """
         for object_id in list(self._entry_waits):
-            waiting, blocking = self._entry_waits[object_id]
-            if root not in waiting and root not in blocking:
+            edges = self._entry_waits[object_id]
+            if root not in edges and not any(
+                root in blocking for blocking in edges.values()
+            ):
                 continue
-            self.update_entry(object_id, waiting - {root}, blocking - {root})
+            self.update_entry(object_id, {
+                waiter: blocking - {root}
+                for waiter, blocking in edges.items()
+                if waiter != root
+            })
 
     def edges(self) -> Dict[int, Set[int]]:
         """Materialized adjacency: family -> families it waits for.
@@ -80,13 +99,12 @@ class DeadlockDetector:
         adjacency = self._adjacency
         if adjacency is None:
             adjacency = {}
-            for waiting, blocking in self._entry_waits.values():
-                for waiter in waiting:
+            for entry_edges in self._entry_waits.values():
+                for waiter, blocking in entry_edges.items():
                     targets = adjacency.get(waiter)
                     if targets is None:
                         targets = adjacency[waiter] = set()
                     targets.update(blocking)
-                    targets.discard(waiter)
             self._adjacency = adjacency
             self._cycle_free.clear()
             self._sorted_targets.clear()
@@ -144,6 +162,6 @@ class DeadlockDetector:
 
     def waiting_families(self) -> FrozenSet[int]:
         waiting: Set[int] = set()
-        for waiters, _blocking in self._entry_waits.values():
-            waiting.update(waiters)
+        for entry_edges in self._entry_waits.values():
+            waiting.update(entry_edges)
         return frozenset(waiting)

@@ -78,9 +78,7 @@ class Directory:
     def refresh_deadlock_edges(self, object_id: ObjectId) -> None:
         """Re-derive this entry's contribution to the waits-for graph."""
         entry = self.entry(object_id)
-        waiting = frozenset(entry.waiting_family_roots())
-        blocking = entry.blocking_family_roots()
-        self.deadlock.update_entry(object_id, waiting, blocking)
+        self.deadlock.update_entry(object_id, entry.waits_for_edges())
 
     def __len__(self) -> int:
         return len(self._entries)

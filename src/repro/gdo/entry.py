@@ -33,9 +33,33 @@ class LockMode(enum.Enum):
     READ = "R"
     WRITE = "W"
 
-    def conflicts_with(self, other: "LockMode") -> bool:
-        """Multiple readers / single writer."""
-        return self is LockMode.WRITE or other is LockMode.WRITE
+    def conflicts_with(self, other) -> bool:
+        """Multiple readers / single writer.
+
+        ``other`` may be a :class:`~repro.txn.semantic.SemanticMode`,
+        which owns the commutativity judgement — delegate so that a
+        plain requester vs a semantic holder (and vice versa) gets one
+        consistent answer."""
+        if type(other) is LockMode:
+            return self is LockMode.WRITE or other is LockMode.WRITE
+        return other.conflicts_with(self)
+
+
+def _base(mode) -> "LockMode":
+    """Plain R/W lattice element under a (possibly semantic) mode."""
+    return getattr(mode, "base", mode)
+
+
+def _join(held, granted):
+    """Mode recorded after a re-entrant grant or repeated retention.
+
+    Equal modes keep themselves (a semantic tag survives retention);
+    any mixed pair collapses to the plain base join."""
+    if held is None or held == granted:
+        return granted if held is None else held
+    if _base(held) is LockMode.WRITE or _base(granted) is LockMode.WRITE:
+        return LockMode.WRITE
+    return LockMode.READ
 
 
 class LockState(enum.Enum):
@@ -117,7 +141,8 @@ class DirectoryEntry:
     @property
     def lock_state(self) -> LockState:
         if self.holders:
-            if any(mode is LockMode.WRITE for mode in self.holders.values()):
+            if any(_base(mode) is LockMode.WRITE
+                   for mode in self.holders.values()):
                 return LockState.HELD_WRITE
             return LockState.HELD_READ
         if self.retainers:
@@ -127,7 +152,10 @@ class DirectoryEntry:
     @property
     def read_count(self) -> int:
         """The paper's ReadCount field: number of concurrent readers."""
-        return sum(1 for mode in self.holders.values() if mode is LockMode.READ)
+        return sum(
+            1 for mode in self.holders.values()
+            if _base(mode) is LockMode.READ
+        )
 
     @property
     def is_free(self) -> bool:
@@ -146,6 +174,41 @@ class DirectoryEntry:
         if exclude_root is not None:
             roots.discard(exclude_root)
         return frozenset(roots)
+
+    def waits_for_edges(self) -> Dict[int, FrozenSet[int]]:
+        """Waits-for edges keyed by actual conflict, per waiting family.
+
+        For each queued family the head waiter's mode decides its
+        blocking set: a holder/retainer family contributes an edge
+        unless both its recorded mode and the waiter's are semantic and
+        commute — two commuting holders must never appear as a spurious
+        cycle to the deadlock detector.  Plain pairings always keep
+        their edge (a plain waiter queued behind the entry is blocked
+        by the entry's whole membership, exactly the pre-semantic
+        behaviour)."""
+        modes_by_root: Dict[int, List[LockMode]] = {}
+        for txn_id, mode in self.holders.items():
+            modes_by_root.setdefault(txn_id.root, []).append(mode)
+        for txn_id, mode in self.retainers.items():
+            modes_by_root.setdefault(txn_id.root, []).append(mode)
+        edges: Dict[int, FrozenSet[int]] = {}
+        for queue in self.waiting_families:
+            if not queue.waiters:
+                continue
+            waiter_mode = queue.waiters[0].mode
+            blocking = set()
+            for root, modes in modes_by_root.items():
+                if root == queue.root:
+                    continue
+                for held_mode in modes:
+                    if (getattr(waiter_mode, "tag", None) is not None
+                            and getattr(held_mode, "tag", None) is not None
+                            and not waiter_mode.conflicts_with(held_mode)):
+                        continue
+                    blocking.add(root)
+                    break
+            edges[queue.root] = frozenset(blocking)
+        return edges
 
     def holder_entries(self) -> Tuple[Tuple[TxnId, NodeId], ...]:
         """The ⟨TID,NID⟩ pairs of HolderPtr (for grant message sizing);
@@ -172,34 +235,56 @@ class DirectoryEntry:
         """Classify a request; does not mutate state."""
         if self.is_free:
             return GrantDecision.GRANTED
-        # Re-entrant request: txn already holds the lock.
+        # Re-entrant request: txn already holds the lock.  The entry
+        # keeps the *join* of the held and requested modes; when the
+        # join is the held mode itself the request is covered (plain:
+        # W covers R; semantic: re-invoking the same method).  Anything
+        # else is an upgrade, allowed only when no other holder
+        # conflicts with the joined mode.
         held = self.holders.get(txn.id)
         if held is not None:
-            if held is LockMode.WRITE or mode is LockMode.READ:
+            joined = _join(held, mode)
+            if joined == held:
                 return GrantDecision.GRANTED
-            # R -> W upgrade: allowed only with no other holder.
-            if len(self.holders) == 1:
+            if all(
+                holder_id == txn.id
+                or not joined.conflicts_with(holder_mode)
+                for holder_id, holder_mode in self.holders.items()
+            ):
                 return GrantDecision.GRANTED
             return self._wait_kind(txn)
         # §3.4 preclusion: an ancestor *holds* (not merely retains) the
         # lock this transaction needs — the family would deadlock with
         # itself.  Shared reads are safe and may be permitted by flag.
+        # Judged on base modes: families execute sequentially, so
+        # intra-family semantic concurrency buys nothing and relaxing
+        # here would only weaken the Moss invariants.
         for holder_id, holder_mode in self.holders.items():
             holder = self._holder_txns[holder_id]
             if not holder.is_ancestor_of(txn):
                 continue
-            if mode.conflicts_with(holder_mode) or not allow_recursive_reads:
+            if (_base(mode) is LockMode.WRITE
+                    or _base(holder_mode) is LockMode.WRITE
+                    or not allow_recursive_reads):
                 return GrantDecision.RECURSIVE
         # Rule 1a: every retainer must be an ancestor of the requester.
         # A transaction may always re-acquire a lock it retains itself
         # (Moss: the retainer and its descendants have access) — this
         # arises when optimistic pre-acquisition retained the lock for
         # the very transaction now requesting it.
-        for retainer_id in self.retainers:
+        # Semantic relaxation: a foreign family's *retained* semantic
+        # lock blocks only non-commuting modes — the retained method's
+        # effects merge commutatively with the requester's, so Moss
+        # retention need not serialize them.
+        for retainer_id, retained_mode in self.retainers.items():
             if retainer_id == txn.id:
                 continue
             retainer = self._retainer_txns[retainer_id]
             if retainer_id.root != txn.id.root:
+                if (getattr(mode, "tag", None) is not None
+                        and getattr(retained_mode, "tag", None) is not None
+                        and not mode.conflicts_with(retained_mode)):
+                    continue
                 return GrantDecision.WAIT_GLOBAL
             if not retainer.is_ancestor_of(txn):
                 return GrantDecision.WAIT_LOCAL
@@ -226,7 +311,7 @@ class DirectoryEntry:
         existing = self.holders.get(txn.id)
         if existing is LockMode.WRITE and mode is LockMode.READ:
             return  # W already covers R
-        self.holders[txn.id] = mode
+        self.holders[txn.id] = _join(existing, mode)
         self._holder_txns[txn.id] = txn
 
     # -- waiting -----------------------------------------------------------------
@@ -325,8 +410,7 @@ class DirectoryEntry:
 
     def _retain(self, txn, mode: LockMode) -> None:
         existing = self.retainers.get(txn.id)
-        if existing is None or (existing is LockMode.READ and mode is LockMode.WRITE):
-            self.retainers[txn.id] = mode
+        self.retainers[txn.id] = _join(existing, mode)
         self._retainer_txns[txn.id] = txn
 
     def release_on_abort(self, txn) -> bool:

@@ -51,6 +51,12 @@ class ClusterConfig:
             ``(class name, protocol name)`` pairs — the §6 future-work
             item "different consistency protocols ... on a per-class
             basis".  Classes not listed use ``protocol``.
+        semantic_locks: grant commuting method invocations on the same
+            object concurrently across families, using per-class
+            commutativity tables derived from the access analysis
+            (blind ``+=``/``-=`` increments and page-disjoint method
+            pairs — DESIGN §15).  Off by default: the plain R/W
+            lattice, byte-identical to a build without semantic modes.
         prefetch: optimistic pre-acquisition (§5.1/§6 future work):
             ``"off"``, ``"locks"`` (non-blocking pre-acquisition of
             predicted objects' locks, demoted to retained so
@@ -111,6 +117,7 @@ class ClusterConfig:
     audit_accesses: bool = True
     recovery: str = "undo"
     class_protocols: tuple = ()
+    semantic_locks: bool = False
     prefetch: str = "off"
     batch_transfers: bool = True
     trace: bool = False

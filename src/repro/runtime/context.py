@@ -35,12 +35,18 @@ class TxnContext:
     """Runtime services scoped to one executing [sub-]transaction."""
 
     def __init__(self, runtime, txn, meta: ObjectMeta, spec,
-                 allow_invoke: bool):
+                 allow_invoke: bool, merger=None,
+                 increments: frozenset = frozenset()):
         self._runtime = runtime
         self.txn = txn
         self._meta = meta
         self._spec = spec
         self._allow_invoke = allow_invoke
+        # Semantic lock modes (DESIGN §15): attributes this invocation
+        # updates as blind increments are recorded in the merger as
+        # store-virtual deltas instead of written through.
+        self._merger = merger
+        self._increments = increments
         self.actual_reads: Set[str] = set()
         self.actual_writes: Set[str] = set()
 
@@ -92,16 +98,58 @@ class TxnContext:
     def read_slot(self, meta: ObjectMeta, slot: Slot):
         self._check_same_object(meta)
         pages = meta.layout.slot_pages(*slot)
-        self._ensure_current(meta, pages, is_write=False)
+        if slot[0] in self._increments:
+            # Commuting co-holders commit version bumps on increment
+            # pages mid-hold; the local bytes are irrelevant to delta
+            # arithmetic, so don't chase them (exhaustive-transfer
+            # protocols would reject the mid-hold staleness outright).
+            self._materialize(meta, pages)
+        else:
+            self._ensure_current(meta, pages, is_write=False)
         self._touch(meta, slot[0], pages, is_write=False)
-        return self._store().read_slot(meta.object_id, slot)
+        value = self._store().read_slot(meta.object_id, slot)
+        if self._merger is not None:
+            # Family-visible value = store + the family's own live
+            # deltas (tracked increments never reach the store).
+            adjust = self._merger.family_adjustment(
+                self.txn, meta.object_id, slot
+            )
+            if adjust:
+                value = value + adjust
+        return value
 
     def write_slot(self, meta: ObjectMeta, slot: Slot, value) -> None:
         self._check_same_object(meta)
         self._check_write_allowed(meta, slot[0])
         pages = meta.layout.slot_pages(*slot)
-        self._ensure_current(meta, pages, is_write=True)
+        if slot[0] not in self._increments:
+            self._ensure_current(meta, pages, is_write=True)
         store = self._store()
+        if self._merger is not None:
+            if slot[0] in self._increments:
+                # Blind increment under a semantic mode: record the
+                # delta, leave the store's committed bytes alone (no
+                # undo frame — abort just drops the delta), but keep
+                # the dirty/touch bookkeeping so commit publishes the
+                # slot's pages from this node.  Staleness is not
+                # chased (see read_slot); only residency matters.
+                self._materialize(meta, pages)
+                old = store.read_slot(meta.object_id, slot)
+                adjust = self._merger.family_adjustment(
+                    self.txn, meta.object_id, slot
+                )
+                self._merger.record(self.txn, meta.object_id, slot,
+                                    value - old - adjust)
+                self.txn.record_dirty(meta.object_id, pages)
+                self._touch(meta, slot[0], pages, is_write=True)
+                return
+            adjust = self._merger.plain_write_adjustment(
+                self.txn, meta.object_id, slot
+            )
+            if adjust:
+                # Keep the store satisfying family-visible = store +
+                # family deltas around a plain overwrite.
+                value = value - adjust
         self.txn.undo.before_write(store, meta.object_id, slot, pages)
         store.write_slot(meta.object_id, slot, value)
         self.txn.record_dirty(meta.object_id, pages)
@@ -138,6 +186,16 @@ class TxnContext:
                 f"lock: its writes= annotation declared no writes, which is "
                 f"unsound"
             )
+
+    def _materialize(self, meta: ObjectMeta, pages) -> None:
+        """Residency-only fetch for tracked increment slots: pull the
+        object in on first touch at this node, but never refetch merely
+        because a commuting co-holder's commit bumped the version."""
+        store = self._store()
+        if not store.has_object(meta.object_id) or any(
+            store.page_version(meta.object_id, page) == 0 for page in pages
+        ):
+            self._ensure_current(meta, pages, is_write=True)
 
     def _ensure_current(self, meta: ObjectMeta, pages, is_write: bool) -> None:
         entry = self._runtime.directory.entry(meta.object_id)

@@ -32,6 +32,7 @@ from repro.objects.proxy import InstrumentedSelf
 from repro.objects.registry import ObjectHandle
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.context import InvocationRequest, TxnContext
+from repro.txn.semantic import IncrementMerger
 from repro.txn.transaction import Transaction, TxnStats
 from repro.util.backoff import backoff_delay
 from repro.util.errors import (
@@ -172,6 +173,10 @@ class Executor:
         self._recovery_factory = (
             ShadowLog if config.recovery == "shadow" else UndoLog
         )
+        # Semantic lock modes (DESIGN §15): the merger keeps blind
+        # increments correct across commuting families; None keeps the
+        # plain path byte-identical.
+        self.merger = IncrementMerger(stores) if config.semantic_locks else None
         self.txn_stats = TxnStats()
         self.commit_log: List[CommitRecord] = []
         self.audit: List[AccessAudit] = []
@@ -309,6 +314,11 @@ class Executor:
             if store.has_object(object_id)
         }
         yield from self.lockmgr.root_commit_release(root, resident)
+        if self.merger is not None:
+            # Fold the family's tracked increments into the per-slot
+            # ledger and write the merged sums into this (now owning)
+            # store before any newly granted family can fetch from us.
+            self.merger.on_root_commit(root)
         # The committing site now holds the newest version of every
         # page it dirtied: stamp the local tags with the post-commit
         # versions before anyone can fetch from us.
@@ -330,6 +340,8 @@ class Executor:
         """Root abort: UNDO from local logs, release with no dirty info."""
         root.undo.apply(self.stores[root.node])
         root.dirty.clear()
+        if self.merger is not None:
+            self.merger.on_abort(root)
         yield from self.lockmgr.root_abort_release(root)
         root.mark_aborted()
 
@@ -356,6 +368,8 @@ class Executor:
                 walk(child)
             applied += txn.undo.apply(store)
             txn.dirty.clear()
+            if self.merger is not None:
+                self.merger.on_abort(txn)
 
         walk(root)
         return applied
@@ -498,6 +512,13 @@ class Executor:
         token = None if txn.is_root else self.tracer.txn_begin(txn)
         prediction = predict(spec.access, meta.layout)
         mode = LockMode.WRITE if spec.is_update else LockMode.READ
+        increments = frozenset()
+        if self.config.semantic_locks:
+            mode = self.lockmgr.semantic_mode_for(
+                meta.schema.name, method_name, mode
+            )
+            if getattr(mode, "tag", None) is not None:
+                increments = mode.table.methods[method_name].increment_attrs
         try:
             snapshot = yield from self.lockmgr.acquire(txn, meta.object_id, mode)
             if snapshot is None:
@@ -513,7 +534,8 @@ class Executor:
                     outcome.shipped
                 )
             ctx = TxnContext(self, txn, meta, spec,
-                             allow_invoke=spec.is_generator)
+                             allow_invoke=spec.is_generator,
+                             merger=self.merger, increments=increments)
             proxy = InstrumentedSelf(ctx, meta)
             if spec.is_generator:
                 body = spec.func(proxy, ctx, *args)
@@ -532,6 +554,8 @@ class Executor:
             raise
         if not txn.is_root:
             txn.precommit()
+            if self.merger is not None:
+                self.merger.on_sub_commit(txn)
             self.lockmgr.precommit_release(txn)
             self.txn_stats.sub_commits += 1
             self.tracer.txn_commit(token, txn)
@@ -544,6 +568,8 @@ class Executor:
             return
         txn.undo.apply(self.stores[txn.node])
         txn.dirty.clear()
+        if self.merger is not None:
+            self.merger.on_abort(txn)
         yield from self.lockmgr.sub_abort_release(txn)
         txn.mark_aborted()
         self.txn_stats.sub_aborts += 1

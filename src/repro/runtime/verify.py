@@ -19,7 +19,25 @@ from repro.gdo.entry import LockMode
 from repro.runtime.cluster import Cluster
 from repro.runtime.config import ClusterConfig
 from repro.runtime.executor import freeze_args, thaw_args
+from repro.txn.semantic import base_of
 from repro.util.ids import ObjectId
+
+
+def _grant_conflict(tables: Dict, left, right) -> bool:
+    """Conflict between two recorded grant modes, judged against the
+    lock manager's *honest* commutativity registry — not the tables
+    the mode objects carry, which a test mutation may have wrapped."""
+    left_tag = getattr(left, "tag", None)
+    right_tag = getattr(right, "tag", None)
+    if left_tag is not None and right_tag is not None:
+        left_cls, _, left_method = left_tag.partition(".")
+        right_cls, _, right_method = right_tag.partition(".")
+        table = tables.get(left_cls)
+        if (left_cls == right_cls and table is not None
+                and table.commutes(left_method, right_method)):
+            return False
+    return (base_of(left) is LockMode.WRITE
+            or base_of(right) is LockMode.WRITE)
 
 
 @dataclass
@@ -51,10 +69,14 @@ def replay_serially(cluster: Cluster,
         # transport="sim" always: the oracle is a deterministic
         # single-node re-execution, so real sockets would add nothing
         # but wall-clock time and nondeterminism.
+        # semantic_locks=False: the replay is the *plain* serial
+        # semantics every semantic grant must be equivalent to — the
+        # oracle must not inherit the relaxation it is judging.
         config = replace(
             cluster.config, num_nodes=1, scheduler="round_robin",
             audit_accesses=False, faults=None, tiebreak="fifo",
             transport="sim", transport_processes=False,
+            semantic_locks=False,
         )
     serial = Cluster(config)
     for record in cluster.creation_log:
@@ -124,6 +146,7 @@ def check_conflict_serializability(cluster: Cluster) -> VerificationReport:
     # alone would miss a reader's edge to a later writer).
     edges: Dict[int, set] = {}
     families = set()
+    tables = cluster.lockmgr.commutativity_tables()
     for history in cluster.lockmgr.grant_history.values():
         committed_history = [
             grant for grant in history if grant[0] in committed
@@ -132,10 +155,9 @@ def check_conflict_serializability(cluster: Cluster) -> VerificationReport:
             for earlier, earlier_mode, _etime in committed_history[:index]:
                 if earlier == later:
                     continue
-                if (
-                    earlier_mode is LockMode.READ
-                    and later_mode is LockMode.READ
-                ):
+                # Non-conflicting grants create no dependency: R/R on
+                # the plain lattice, plus commuting semantic pairs.
+                if not _grant_conflict(tables, earlier_mode, later_mode):
                     continue
                 edges.setdefault(earlier, set()).add(later)
                 families.update((earlier, later))

@@ -32,6 +32,7 @@ from repro.net.message import Message, MessageCategory
 from repro.net.network import Network
 from repro.net.sizes import SizeModel
 from repro.obs.tracer import NULL_TRACER
+from repro.txn.semantic import SemanticMode
 from repro.txn.transaction import Transaction
 from repro.util.backoff import backoff_delay
 from repro.util.errors import (
@@ -68,6 +69,19 @@ class LockStats:
             "prefetch_denied": self.prefetch_denied,
             "lock_timeouts": self.lock_timeouts,
         }
+
+
+class _CommuteAllTable:
+    """TEST-ONLY wrapper: reports every same-class method pair as
+    commuting.  Mirrors the honest table's read surface so
+    :class:`~repro.txn.semantic.SemanticMode` can consume it."""
+
+    def __init__(self, honest):
+        self.class_name = honest.class_name
+        self.methods = honest.methods
+
+    def commutes(self, left: str, right: str) -> bool:
+        return True
 
 
 @dataclass
@@ -117,6 +131,53 @@ class LockManager:
         # repro.check mutation smoke tests prove the fuzzer's checkers
         # catch them).  Always empty in production paths.
         self.test_mutations: frozenset = frozenset()
+        # Per-class commutativity tables (semantic lock modes); empty
+        # unless ClusterConfig.semantic_locks registered them.
+        self._commutativity: Dict[str, object] = {}
+        self._mutated_tables: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Semantic lock modes
+    # ------------------------------------------------------------------
+
+    def register_commutativity(self, class_name: str, table) -> None:
+        """Install one class's commutativity table (semantic modes on)."""
+        self._commutativity[class_name] = table
+
+    def commutativity_tables(self) -> Dict[str, object]:
+        """The honest registered tables (checker artifact source)."""
+        return dict(self._commutativity)
+
+    def semantic_mode_for(self, class_name: str, method_name: str,
+                          base: LockMode):
+        """The lock mode for invoking ``method_name`` on ``class_name``.
+
+        Returns a :class:`SemanticMode` when the class has a registered
+        table and the method is eligible; otherwise the plain base mode
+        (the conservative R/W fallback).
+        """
+        table = self._commutativity.get(class_name)
+        if table is None:
+            return base
+        summary = table.methods.get(method_name)
+        if summary is None or not summary.semantic:
+            return base
+        if "commute-conflicting-writes" in self.test_mutations:
+            table = self._mutated_table(class_name, table)
+        return SemanticMode(base, f"{class_name}.{method_name}", table)
+
+    def _mutated_table(self, class_name: str, honest):
+        """TEST-ONLY breakage (``commute-conflicting-writes``): hand
+        out a table claiming every same-class pair commutes, so two
+        genuinely conflicting writers are granted concurrently.  The
+        honest table is what the trace artifact carries, so the
+        reference model and the serializability oracles must catch the
+        resulting lost updates / non-serializable schedules."""
+        mutated = self._mutated_tables.get(class_name)
+        if mutated is None:
+            mutated = _CommuteAllTable(honest)
+            self._mutated_tables[class_name] = mutated
+        return mutated
 
     def _record_grant(self, object_id: ObjectId, txn, mode: LockMode) -> None:
         self.grant_history.setdefault(object_id, []).append(
@@ -370,7 +431,10 @@ class LockManager:
         # Scheduling hints for same-instant tie-break policies
         # (repro.sim.tiebreak): which family/node/mode this wake admits.
         wake.hints = {
-            "kind": "lockwait", "mode": mode.value,
+            "kind": "lockwait",
+            # Tie-break policies key on the plain base (writer-first
+            # must treat W+tag exactly like W).
+            "mode": getattr(mode, "base", mode).value,
             "node": txn.node.value, "root": txn.id.root,
             "object": entry.object_id.value,
         }

@@ -13,6 +13,11 @@ N0, N1, N2 = NodeId(0), NodeId(1), NodeId(2)
 O0, O1, O2 = ObjectId(0), ObjectId(1), ObjectId(2)
 
 
+def _edges(waiting, blocking):
+    """Legacy-shaped edge set: every waiter blocked by every blocker."""
+    return {waiter: frozenset(blocking) for waiter in waiting}
+
+
 class TestDeadlockDetector:
     def test_no_edges_no_cycle(self):
         detector = DeadlockDetector()
@@ -20,42 +25,42 @@ class TestDeadlockDetector:
 
     def test_two_family_cycle(self):
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({2}))
-        detector.update_entry(O1, waiting=frozenset({2}), blocking=frozenset({1}))
+        detector.update_entry(O0, _edges(frozenset({1}), frozenset({2})))
+        detector.update_entry(O1, _edges(frozenset({2}), frozenset({1})))
         cycle = detector.find_cycle(1)
         assert cycle is not None
         assert set(cycle) == {1, 2}
 
     def test_three_family_cycle(self):
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({2}))
-        detector.update_entry(O1, waiting=frozenset({2}), blocking=frozenset({3}))
-        detector.update_entry(O2, waiting=frozenset({3}), blocking=frozenset({1}))
+        detector.update_entry(O0, _edges(frozenset({1}), frozenset({2})))
+        detector.update_entry(O1, _edges(frozenset({2}), frozenset({3})))
+        detector.update_entry(O2, _edges(frozenset({3}), frozenset({1})))
         cycle = detector.find_cycle(2)
         assert set(cycle) == {1, 2, 3}
 
     def test_chain_is_not_cycle(self):
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({2}))
-        detector.update_entry(O1, waiting=frozenset({2}), blocking=frozenset({3}))
+        detector.update_entry(O0, _edges(frozenset({1}), frozenset({2})))
+        detector.update_entry(O1, _edges(frozenset({2}), frozenset({3})))
         assert detector.find_cycle(1) is None
 
     def test_self_edges_ignored(self):
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({1, 2}))
+        detector.update_entry(O0, _edges(frozenset({1}), frozenset({1, 2})))
         assert detector.find_cycle(1) is None
 
     def test_entry_update_replaces_edges(self):
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({2}))
-        detector.update_entry(O1, waiting=frozenset({2}), blocking=frozenset({1}))
+        detector.update_entry(O0, _edges(frozenset({1}), frozenset({2})))
+        detector.update_entry(O1, _edges(frozenset({2}), frozenset({1})))
         # Family 2 got the lock on O1: edge disappears, cycle broken.
-        detector.update_entry(O1, waiting=frozenset(), blocking=frozenset({2}))
+        detector.update_entry(O1, _edges(frozenset(), frozenset({2})))
         assert detector.find_cycle(1) is None
 
     def test_clear_entry(self):
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1}), blocking=frozenset({2}))
+        detector.update_entry(O0, _edges(frozenset({1}), frozenset({2})))
         detector.clear_entry(O0)
         assert detector.edges() == {}
 
@@ -65,15 +70,12 @@ class TestDeadlockDetector:
 
     def test_waiting_families_view(self):
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1, 3}),
-                              blocking=frozenset({2}))
+        detector.update_entry(O0, _edges(frozenset({1, 3}), frozenset({2})))
         assert detector.waiting_families() == frozenset({1, 3})
 
     def test_multi_waiter_multi_blocker_edges(self):
         detector = DeadlockDetector()
-        detector.update_entry(
-            O0, waiting=frozenset({1, 2}), blocking=frozenset({3, 4})
-        )
+        detector.update_entry(O0, _edges(frozenset({1, 2}), frozenset({3, 4})))
         edges = detector.edges()
         assert edges[1] == {3, 4}
         assert edges[2] == {3, 4}
@@ -82,8 +84,7 @@ class TestDeadlockDetector:
         # A family queued behind itself (lock upgrade paths) must not
         # read as a one-node cycle.
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1}),
-                              blocking=frozenset({1}))
+        detector.update_entry(O0, _edges(frozenset({1}), frozenset({1})))
         assert detector.find_cycle(1) is None
         assert detector.edges().get(1, set()) == set()
 
@@ -92,18 +93,31 @@ class TestDeadlockDetector:
         # member must find *some* cycle, and breaking one must leave
         # the other detectable.
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1}),
-                              blocking=frozenset({2}))
-        detector.update_entry(O1, waiting=frozenset({2}),
-                              blocking=frozenset({1, 3}))
-        detector.update_entry(O2, waiting=frozenset({3}),
-                              blocking=frozenset({2}))
+        detector.update_entry(O0, _edges(frozenset({1}), frozenset({2})))
+        detector.update_entry(O1, _edges(frozenset({2}), frozenset({1, 3})))
+        detector.update_entry(O2, _edges(frozenset({3}), frozenset({2})))
         for start in (1, 2, 3):
             assert detector.find_cycle(start) is not None
         # Abort family 3: its cycle dissolves, the 1<->2 cycle stays.
         detector.drop_family(3)
         assert set(detector.find_cycle(1)) == {1, 2}
         assert detector.find_cycle(3) is None
+
+    def test_per_waiter_edges_are_independent(self):
+        # Conflict-keyed edges: two waiters on the same entry may be
+        # blocked by *different* families (a semantic waiter commutes
+        # with some holders).  The detector must not union them.
+        detector = DeadlockDetector()
+        detector.update_entry(O0, {1: frozenset({3}), 2: frozenset({4})})
+        edges = detector.edges()
+        assert edges[1] == {3}
+        assert edges[2] == {4}
+
+    def test_waiter_with_no_blockers_contributes_nothing(self):
+        detector = DeadlockDetector()
+        detector.update_entry(O0, {1: frozenset(), 2: frozenset({3})})
+        assert detector.edges() == {2: {3}}
+        assert detector.waiting_families() == frozenset({2})
 
     def test_pick_victim_is_stable_under_rotation(self):
         # The victim is a function of the cycle's membership, not of
@@ -115,10 +129,8 @@ class TestDeadlockDetector:
 
     def test_drop_family_clears_crash_aborted_edges(self):
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1}),
-                              blocking=frozenset({2}))
-        detector.update_entry(O1, waiting=frozenset({2}),
-                              blocking=frozenset({1}))
+        detector.update_entry(O0, _edges(frozenset({1}), frozenset({2})))
+        detector.update_entry(O1, _edges(frozenset({2}), frozenset({1})))
         # Family 2 dies in a node crash: both edges involving it go,
         # and family 1 is no longer part of any cycle.
         detector.drop_family(2)
@@ -128,8 +140,7 @@ class TestDeadlockDetector:
 
     def test_drop_family_keeps_unrelated_edges(self):
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1, 5}),
-                              blocking=frozenset({2, 6}))
+        detector.update_entry(O0, _edges(frozenset({1, 5}), frozenset({2, 6})))
         detector.drop_family(5)
         edges = detector.edges()
         assert edges[1] == {2, 6}
@@ -140,10 +151,8 @@ class TestDeadlockDetector:
         # entry must remove its contributed edges even if drop_family
         # was never called for the survivors.
         detector = DeadlockDetector()
-        detector.update_entry(O0, waiting=frozenset({1}),
-                              blocking=frozenset({2}))
-        detector.update_entry(O1, waiting=frozenset({3}),
-                              blocking=frozenset({4}))
+        detector.update_entry(O0, _edges(frozenset({1}), frozenset({2})))
+        detector.update_entry(O1, _edges(frozenset({3}), frozenset({4})))
         detector.clear_entry(O0)
         assert detector.find_cycle(1) is None
         assert detector.edges() == {3: {4}}

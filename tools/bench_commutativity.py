@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Commutativity payoff benchmark: hot-object bank/order workloads.
+
+Measures what the semantic lock modes (ROADMAP item 3) actually buy on
+the two example applications' hot objects:
+
+* **bank** — one hot ``Account`` absorbing a stream of concurrent
+  ``deposit`` calls from every node.  ``deposit`` is a pure blind
+  increment, so with ``semantic_locks=True`` every pair commutes and
+  the deposits pipeline instead of serializing behind one write lock.
+* **order** — one hot ``Warehouse`` taking concurrent ``new_order``
+  invocations that nest ``Item.allocate`` / ``Customer.charge`` subs.
+  The warehouse's own footprint is two blind increments, so orders
+  only serialize on genuinely shared items and customers.
+
+Both runs assert the exact final state (money/stock conservation — the
+increment ledger must merge, not race) and that the relaxed schedule
+stays serializable.  The committed envelope
+(``benchmarks/baselines/claims_commutativity.json``) pins per-workload
+committed throughput (commits per simulated second) with modes off and
+on; ``tools/check_baselines.py --only commutativity`` re-measures and
+fails if the headline speedup floor no longer holds.
+
+The measurement is *simulated* time, so it is exactly reproducible —
+no calibration or tolerance dance needed.
+
+Usage:
+    PYTHONPATH=src python tools/bench_commutativity.py            # measure + print
+    PYTHONPATH=src python tools/bench_commutativity.py --update   # rewrite envelope
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(
+    REPO_ROOT, "benchmarks", "baselines", "claims_commutativity.json"
+)
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "examples"))
+
+SCHEMA = 1
+
+#: Headline claim the gate enforces: semantic modes must keep at least
+#: this commit-throughput multiple on the bank hot-object workload.
+MIN_BANK_SPEEDUP = 1.5
+
+
+def _cluster(semantic: bool, seed: int):
+    from repro import Cluster, ClusterConfig
+
+    return Cluster(ClusterConfig(
+        num_nodes=4, protocol="lotec", seed=seed,
+        semantic_locks=semantic,
+    ))
+
+
+def run_bank(semantic: bool, deposits: int = 96, seed: int = 7) -> dict:
+    """A stream of concurrent deposits against one hot account."""
+    from bank_branches import Account
+
+    cluster = _cluster(semantic, seed)
+    account = cluster.create(Account)
+    total = 0
+    for index in range(deposits):
+        amount = 10 + index % 17
+        total += amount
+        cluster.submit(account, "deposit", amount,
+                       node=cluster.nodes[index % len(cluster.nodes)],
+                       delay=index * 0.0001)
+    cluster.run()
+    balance = cluster.read_attr(account, "balance")
+    if balance != total:
+        raise AssertionError(
+            f"bank conservation broken: balance {balance} != {total}"
+        )
+    if cluster.read_attr(account, "deposits") != deposits:
+        raise AssertionError("bank deposit count drifted")
+    return _measure(cluster, expected_commits=deposits)
+
+
+def run_order(semantic: bool, orders: int = 60, seed: int = 9) -> dict:
+    """The order example's hot-warehouse stream, modes on or off."""
+    from order_processing import Customer, Item, Warehouse
+
+    cluster = _cluster(semantic, seed)
+    warehouse = cluster.create(Warehouse)
+    items = [cluster.create(Item) for _ in range(12)]
+    customers = [cluster.create(Customer) for _ in range(8)]
+    stock_before = sum(cluster.read_attr(item, "stock") for item in items)
+    for index in range(orders):
+        customer = customers[index % len(customers)]
+        lines = tuple(
+            (items[(index * 3 + k) % len(items)], 1 + (index + k) % 3,
+             10 + k)
+            for k in range(1 + index % 3)
+        )
+        cluster.submit(warehouse, "new_order", customer, lines,
+                       node=cluster.nodes[index % len(cluster.nodes)],
+                       delay=index * 0.0002)
+    cluster.run()
+    moved = sum(cluster.read_attr(item, "reserved") for item in items)
+    left = sum(cluster.read_attr(item, "stock") for item in items)
+    if moved + left != stock_before:
+        raise AssertionError(
+            f"order conservation broken: {moved} reserved + {left} left "
+            f"!= {stock_before} initial"
+        )
+    return _measure(cluster)
+
+
+def _measure(cluster, expected_commits: int = None) -> dict:
+    from repro.runtime.verify import check_serializability
+
+    commits = len(cluster.commit_log)
+    if expected_commits is not None and commits != expected_commits:
+        raise AssertionError(
+            f"expected {expected_commits} commits, got {commits}"
+        )
+    if not check_serializability(cluster):
+        raise AssertionError("relaxed schedule is not serializable")
+    makespan = round(cluster.env.now, 6)
+    return {
+        "commits": commits,
+        "makespan_s": makespan,
+        "throughput_commits_per_s": round(commits / makespan, 2),
+        "lock_waits": cluster.lock_stats.waits,
+    }
+
+
+def measure_all() -> dict:
+    results = {}
+    for name, runner in (("bank", run_bank), ("order", run_order)):
+        off = runner(semantic=False)
+        on = runner(semantic=True)
+        results[name] = {
+            "off": off,
+            "on": on,
+            "speedup": round(
+                on["throughput_commits_per_s"]
+                / off["throughput_commits_per_s"], 2
+            ),
+            "wait_reduction": round(
+                1.0 - on["lock_waits"] / off["lock_waits"], 3
+            ) if off["lock_waits"] else 0.0,
+        }
+    return results
+
+
+def load_baseline() -> dict:
+    if not os.path.exists(BASELINE_PATH):
+        return None
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle)
+
+
+def write_baseline(envelope: dict) -> None:
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(envelope, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed envelope")
+    args = parser.parse_args(argv)
+
+    results = measure_all()
+    for name, entry in results.items():
+        off, on = entry["off"], entry["on"]
+        print(f"{name}: off {off['throughput_commits_per_s']} commits/s "
+              f"({off['lock_waits']} waits) -> "
+              f"on {on['throughput_commits_per_s']} commits/s "
+              f"({on['lock_waits']} waits) = {entry['speedup']}x, "
+              f"waits -{entry['wait_reduction']:.0%}")
+
+    if args.update:
+        write_baseline({
+            "schema": SCHEMA,
+            "protocol": "lotec",
+            "min_bank_speedup": MIN_BANK_SPEEDUP,
+            "workloads": results,
+        })
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    speedup = results["bank"]["speedup"]
+    if speedup < MIN_BANK_SPEEDUP:
+        print(f"FAIL: bank speedup {speedup}x < {MIN_BANK_SPEEDUP}x",
+              file=sys.stderr)
+        return 1
+    print(f"bank hot-object speedup {speedup}x "
+          f"(floor {MIN_BANK_SPEEDUP}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

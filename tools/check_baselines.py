@@ -17,6 +17,12 @@ developers run the same command:
   holds, or if the traced golden-point digest changed (an
   "optimization" that perturbs the event schedule is a behavior
   change, not a speedup).
+* ``--only commutativity`` — semantic-lock payoff on the hot-object
+  bank/order workloads vs
+  ``benchmarks/baselines/claims_commutativity.json``.  Simulated time,
+  so the comparison is exact: any drift from the committed throughput
+  or lock-wait numbers fails, as does losing the headline
+  ``min_bank_speedup`` floor.
 
 ``--only`` may be repeated; with no ``--only`` every gate runs.
 ``--update`` rewrites the selected envelopes from this run instead of
@@ -32,10 +38,11 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import bench_commutativity  # noqa: E402
 import bench_speed  # noqa: E402
 from check_message_baseline import check_locality, check_messages  # noqa: E402
 
-GATES = ("messages", "locality", "speed")
+GATES = ("messages", "locality", "speed", "commutativity")
 
 
 def check_speed(update: bool) -> list:
@@ -111,6 +118,56 @@ def check_speed(update: bool) -> list:
     return failures
 
 
+def check_commutativity(update: bool) -> list:
+    """Re-measure the semantic-lock payoff and gate it exactly."""
+    results = bench_commutativity.measure_all()
+    for name, entry in sorted(results.items()):
+        print(f"commutativity.{name}: "
+              f"off {entry['off']['throughput_commits_per_s']} -> "
+              f"on {entry['on']['throughput_commits_per_s']} commits/s "
+              f"({entry['speedup']}x, waits "
+              f"{entry['off']['lock_waits']} -> "
+              f"{entry['on']['lock_waits']})")
+
+    if update:
+        bench_commutativity.write_baseline({
+            "schema": bench_commutativity.SCHEMA,
+            "protocol": "lotec",
+            "min_bank_speedup": bench_commutativity.MIN_BANK_SPEEDUP,
+            "workloads": results,
+        })
+        print(f"baseline updated: {bench_commutativity.BASELINE_PATH}")
+        return []
+
+    envelope = bench_commutativity.load_baseline()
+    if envelope is None:
+        return ["commutativity: no committed baseline (capture one with "
+                "tools/bench_commutativity.py --update)"]
+    failures = []
+    floor = envelope.get("min_bank_speedup",
+                         bench_commutativity.MIN_BANK_SPEEDUP)
+    speedup = results["bank"]["speedup"]
+    if speedup < floor:
+        failures.append(
+            f"commutativity.bank: speedup {speedup}x < required {floor}x"
+        )
+    else:
+        print(f"ok: commutativity.bank speedup {speedup}x (floor {floor}x)")
+    # Simulated clocks are exact, so the committed numbers must
+    # reproduce bit-for-bit — any drift is a behavior change.
+    committed = envelope.get("workloads", {})
+    if committed != results:
+        for name in sorted(set(committed) | set(results)):
+            if committed.get(name) != results.get(name):
+                failures.append(
+                    f"commutativity.{name}: measured {results.get(name)} "
+                    f"!= committed {committed.get(name)} (if intentional, "
+                    "regenerate with tools/check_baselines.py --update "
+                    "--only commutativity)"
+                )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
@@ -127,6 +184,8 @@ def main(argv=None) -> int:
         failures += check_locality(args.update)
     if "speed" in gates:
         failures += check_speed(args.update)
+    if "commutativity" in gates:
+        failures += check_commutativity(args.update)
 
     if failures:
         print("baseline regression:", file=sys.stderr)
